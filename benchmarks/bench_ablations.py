@@ -1,0 +1,143 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+* 3-conflict detection on/off (Section 3.2's anticipation of branch
+  merges) — without it, selected sets may be unplaceable.
+* Intermediate categories on/off (Section 3.3) — recombining partitions
+  may only help.
+* Exact vs greedy MIS inside CTCR — the exact solver is what makes the
+  Exact variant provably optimal.
+* Query merging on/off in preprocessing (Section 5.1) — halves the
+  input size without hurting quality.
+* CCT global-context embeddings vs plain pairwise distances (Section 4).
+"""
+
+from benchmarks.common import bench_report
+from benchmarks.conftest import instance_for
+from repro.algorithms import CCT, CCTConfig, CTCR, CTCRConfig
+from repro.core import Variant, score_tree
+from repro.mis import MISConfig
+from repro.pipeline import PreprocessConfig, preprocess
+
+PR = Variant.perfect_recall(0.6)
+TJ = Variant.threshold_jaccard(0.8)
+
+
+def _score(builder, instance, variant) -> float:
+    tree = builder.build(instance, variant)
+    tree.validate(universe=instance.universe, bound=instance.bound)
+    return score_tree(tree, instance, variant).normalized
+
+
+def test_ablation_three_conflicts(benchmark):
+    instance = instance_for("A", PR)
+
+    def run():
+        full = _score(CTCR(), instance, PR)
+        ablated = _score(
+            CTCR(CTCRConfig(use_three_conflicts=False)), instance, PR
+        )
+        return full, ablated
+
+    full, ablated = benchmark.pedantic(run, rounds=1, iterations=1)
+    bench_report(
+        "Ablation — 3-conflict detection (Perfect-Recall 0.6, A)",
+        "anticipating branch merges should not hurt, usually helps",
+        ["configuration", "normalized score"],
+        [["with 3-conflicts", full], ["2-conflicts only", ablated]],
+    )
+    assert full >= ablated - 0.05
+
+
+def test_ablation_intermediate_categories(benchmark):
+    instance = instance_for("A", TJ)
+
+    def run():
+        with_mid = _score(CTCR(), instance, TJ)
+        without = _score(
+            CTCR(CTCRConfig(add_intermediate=False)), instance, TJ
+        )
+        return with_mid, without
+
+    with_mid, without = benchmark.pedantic(run, rounds=1, iterations=1)
+    bench_report(
+        "Ablation — intermediate categories (threshold Jaccard 0.8, A)",
+        "recombining partitioned siblings may only add covers",
+        ["configuration", "normalized score"],
+        [["with intermediates", with_mid], ["without", without]],
+    )
+    assert with_mid >= without - 1e-9
+
+
+def test_ablation_exact_vs_greedy_mis(benchmark):
+    instance = instance_for("A", Variant.exact())
+
+    def run():
+        exact = _score(CTCR(), instance, Variant.exact())
+        greedy = _score(
+            CTCR(CTCRConfig(mis=MISConfig(exact=False))),
+            instance,
+            Variant.exact(),
+        )
+        return exact, greedy
+
+    exact, greedy = benchmark.pedantic(run, rounds=1, iterations=1)
+    bench_report(
+        "Ablation — MIS engine inside CTCR (Exact variant, A)",
+        "exact branch-and-bound >= greedy + local search",
+        ["MIS engine", "normalized score"],
+        [["exact B&B", exact], ["greedy + LS", greedy]],
+    )
+    assert exact >= greedy - 1e-9
+
+
+def test_ablation_query_merging(benchmark, dataset_a):
+    def run():
+        merged_inst, merged_rep = preprocess(dataset_a, TJ)
+        plain_inst, plain_rep = preprocess(
+            dataset_a, TJ, PreprocessConfig(merge_queries=False)
+        )
+        merged_tree = CTCR().build(merged_inst, TJ)
+        plain_tree = CTCR().build(plain_inst, TJ)
+        # Both evaluated over the original (unmerged) queries, as the
+        # paper does.
+        return (
+            merged_rep.after_merging,
+            plain_rep.after_merging,
+            score_tree(merged_tree, plain_inst, TJ).normalized,
+            score_tree(plain_tree, plain_inst, TJ).normalized,
+        )
+
+    n_merged, n_plain, s_merged, s_plain = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    bench_report(
+        "Ablation — query merging (threshold Jaccard 0.8, A)",
+        "merging shrinks the input with same-or-better original-query "
+        "score (paper: more than halved XYZ query counts)",
+        ["configuration", "candidate sets", "score on original queries"],
+        [["merged", n_merged, s_merged], ["unmerged", n_plain, s_plain]],
+    )
+    assert n_merged < n_plain
+    assert s_merged >= s_plain - 0.05
+
+
+def test_ablation_cct_global_context(benchmark):
+    instance = instance_for("A", TJ)
+
+    def run():
+        global_ctx = _score(CCT(), instance, TJ)
+        plain = _score(
+            CCT(CCTConfig(global_context=False)), instance, TJ
+        )
+        return global_ctx, plain
+
+    global_ctx, plain = benchmark.pedantic(run, rounds=1, iterations=1)
+    bench_report(
+        "Ablation — CCT global-context embeddings (threshold Jaccard, A)",
+        "embedding sets by similarity-to-all-sets vs plain pairwise "
+        "distance (the paper's stated novelty for CCT)",
+        ["configuration", "normalized score"],
+        [["global context", global_ctx], ["pairwise distance", plain]],
+    )
+    # Both must work; the global context should not be worse by much.
+    assert global_ctx >= plain - 0.1

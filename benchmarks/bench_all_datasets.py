@@ -1,0 +1,64 @@
+"""Cross-dataset robustness (paper Section 5.2).
+
+"As the obtained results over all datasets demonstrated very similar
+trends, for space limitations, we provide representative results only
+for some private and public datasets." This bench runs the headline
+setting (threshold Jaccard 0.8) over every dataset stand-in — the four
+private ones plus all four public ones — and checks that the ranking
+holds everywhere, plus the paper's sparsity observation: "in all
+examined datasets, the derived MIS instances are sparse".
+"""
+
+from benchmarks.common import bench_report
+from benchmarks.conftest import dataset, instance_for
+from repro.algorithms import CCT, CTCR
+from repro.baselines import ExistingTree
+from repro.core import Variant
+from repro.evaluation import run_comparison
+
+VARIANT = Variant.threshold_jaccard(0.8)
+DATASETS = ["A", "B", "C", "E", "CrowdFlower", "HomeDepot", "VictoriasSecret"]
+
+
+def test_all_datasets_same_trends(benchmark):
+    def run():
+        rows = []
+        for name in DATASETS:
+            ds = dataset(name)
+            instance = instance_for(name, VARIANT)
+            builder = CTCR()
+            comparison = run_comparison(
+                [builder, CCT(), ExistingTree(ds.existing_tree)],
+                instance,
+                VARIANT,
+            )
+            scores = {r.name: r.normalized_score for r in comparison}
+            # Rebuild once more for the sparsity diagnostic.
+            builder.build(instance, VARIANT)
+            rows.append(
+                [
+                    name,
+                    scores["CTCR"],
+                    scores["CCT"],
+                    scores["ET"],
+                    builder.last_diagnostics.c2_weighted_avg,
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    bench_report(
+        "All datasets — threshold Jaccard 0.8 (private + public stand-ins)",
+        "very similar trends on every dataset; conflict graphs sparse "
+        "(low weighted conflicts-per-set)",
+        ["dataset", "CTCR", "CCT", "ET", "C2(Q,W)"],
+        rows,
+    )
+
+    for name, ctcr, cct, et, c2 in rows:
+        assert ctcr >= cct - 0.03, name
+        assert ctcr > et, name
+        # Sparsity: on average each set participates in only a few
+        # conflicts (the paper's enabling observation for exact MIS).
+        assert c2 < 20.0, name

@@ -1,0 +1,56 @@
+"""Conservative updates measured structurally (Sections 2.3, 5.4).
+
+Table 1 shows the weight knob controls the *score* split; this bench
+verifies it also controls what taxonomists actually see — how much of
+the existing tree survives. Raising the existing-categories weight share
+must raise the existing tree's category survival rate in the new tree.
+"""
+
+from benchmarks.common import bench_report
+from benchmarks.conftest import instance_for
+from repro.algorithms import CTCR
+from repro.catalog import tree_categories_as_input_sets
+from repro.core import Variant
+from repro.evaluation import diff_trees, reweight_sources
+
+VARIANT = Variant.threshold_jaccard(0.8)
+SHARES = [0.9, 0.5, 0.1]
+
+
+def test_conservative_updates_structural(benchmark, dataset_a):
+    queries = instance_for("A", VARIANT)
+    existing_sets = tree_categories_as_input_sets(
+        dataset_a.existing_tree, start_sid=500_000
+    )
+    mixed = queries.with_extra_sets(existing_sets)
+
+    def run():
+        rows = []
+        for share in SHARES:
+            tree = CTCR().build(reweight_sources(mixed, share), VARIANT)
+            diff = diff_trees(
+                dataset_a.existing_tree, tree, min_similarity=0.5
+            )
+            rows.append(
+                [
+                    f"{share:.0%} queries",
+                    diff.survival_rate,
+                    diff.item_stability,
+                    len(diff.added_cids),
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    bench_report(
+        "Conservative updates — existing-tree survival vs weight share (A)",
+        "lower query share -> more of the existing tree survives",
+        ["weight share", "category survival", "item stability", "new categories"],
+        rows,
+    )
+
+    survivals = [row[1] for row in rows]
+    # Moving from query-dominated to existing-dominated must not reduce
+    # survival of the existing categorization.
+    assert survivals[-1] >= survivals[0] - 0.02

@@ -1,0 +1,42 @@
+"""Figure 8a: threshold Jaccard over dataset C — all five algorithms.
+
+Paper result: CTCR best, CCT second (gap roughly 10% on average), then
+the item-clustering baselines and the existing tree; IC-S near the
+bottom. We reproduce the ranking and print the normalized scores.
+"""
+
+from benchmarks.common import all_builders, bench_report
+from benchmarks.conftest import instance_for
+from repro.core import Variant
+from repro.evaluation import run_comparison
+
+VARIANT = Variant.threshold_jaccard(0.8)
+
+
+def test_fig8a_threshold_jaccard(benchmark, dataset_c):
+    instance = instance_for("C", VARIANT)
+    builders = all_builders(dataset_c)
+
+    rows = benchmark.pedantic(
+        run_comparison,
+        args=(builders, instance, VARIANT),
+        rounds=1,
+        iterations=1,
+    )
+
+    bench_report(
+        "Figure 8a — threshold Jaccard (delta=0.8), dataset C",
+        "CTCR > CCT > {IC-Q, IC-S, ET}; CTCR ~10% over CCT on average",
+        ["algorithm", "normalized score", "covered", "categories"],
+        [
+            [r.name, r.normalized_score, r.covered_count, r.num_categories]
+            for r in rows
+        ],
+    )
+
+    scores = {r.name: r.normalized_score for r in rows}
+    assert scores["CTCR"] >= scores["CCT"] - 0.02
+    assert scores["CTCR"] > scores["IC-Q"]
+    assert scores["CTCR"] > scores["IC-S"]
+    assert scores["CTCR"] > scores["ET"]
+    assert scores["CTCR"] > 0.3

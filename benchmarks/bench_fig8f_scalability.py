@@ -1,0 +1,51 @@
+"""Figure 8f: CTCR running time across the four XYZ datasets A-D.
+
+Paper result: 5 seconds on A (450 queries / 28K items) up to ~37 minutes
+on D (20K queries / 1.2M items) — superlinear but comfortably offline.
+Our datasets are scaled down (see DESIGN.md Section 4), so we check the
+*shape*: time grows with size, and even the largest dataset stays well
+within an offline budget.
+"""
+
+from benchmarks.common import bench_report
+from benchmarks.conftest import dataset, instance_for
+from repro.algorithms import CTCR
+from repro.core import Variant
+from repro.utils.timer import Timer
+
+VARIANT = Variant.threshold_jaccard(0.8)
+
+
+def test_fig8f_scalability(benchmark):
+    names = ["A", "B", "C", "D"]
+    rows = []
+
+    def run_all():
+        measured = []
+        for name in names:
+            ds = dataset(name)
+            instance = instance_for(name, VARIANT)
+            with Timer() as timer:
+                CTCR().build(instance, VARIANT)
+            measured.append(
+                (name, len(instance), ds.n_items, timer.elapsed)
+            )
+        return measured
+
+    measured = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = [
+        [name, n_sets, n_items, round(seconds, 2)]
+        for name, n_sets, n_items, seconds in measured
+    ]
+
+    bench_report(
+        "Figure 8f — CTCR scalability over datasets A-D",
+        "5 s (A) to 37 min (D) in the paper; superlinear growth, offline-OK",
+        ["dataset", "candidate sets", "items", "CTCR seconds"],
+        rows,
+    )
+
+    times = [seconds for _n, _s, _i, seconds in measured]
+    # Largest dataset strictly slower than smallest, and still offline-OK.
+    assert times[-1] > times[0]
+    assert times[-1] < 600

@@ -1,0 +1,45 @@
+"""Item branch bounds above 1 (paper Sections 1, 2.1, 3.3).
+
+Platforms like eBay let sellers list an item on a second branch for a
+fee. The model supports a per-item bound, and the algorithms exploit it:
+shared items no longer need partitioning, dissolving separate-cover
+constraints. Raising the default bound from 1 to 2 must never lower the
+score and should lift it on overlap-heavy inputs.
+"""
+
+from benchmarks.common import bench_report
+from benchmarks.conftest import instance_for
+from repro.algorithms import CTCR
+from repro.core import OCTInstance, Variant, score_tree
+
+VARIANT = Variant.perfect_recall(0.7)
+
+
+def test_item_bounds_lift_scores(benchmark):
+    base = instance_for("A", VARIANT)
+
+    def run():
+        rows = []
+        for bound in (1, 2):
+            instance = OCTInstance(
+                base.sets, universe=base.universe, default_bound=bound
+            )
+            tree = CTCR().build(instance, VARIANT)
+            tree.validate(universe=instance.universe, bound=instance.bound)
+            report = score_tree(tree, instance, VARIANT)
+            rows.append([bound, report.normalized, report.covered_count])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    bench_report(
+        "Item branch bounds — Perfect-Recall 0.7, dataset A",
+        "allowing a second branch per item (the eBay fee option) never "
+        "hurts and typically lifts coverage",
+        ["default bound", "normalized score", "covered"],
+        rows,
+    )
+
+    score_b1 = rows[0][1]
+    score_b2 = rows[1][1]
+    assert score_b2 >= score_b1 - 1e-9

@@ -1,0 +1,44 @@
+"""Opt-in larger-scale smoke run (set REPRO_LARGE=1 to enable).
+
+The default benches run reduced datasets so the whole suite finishes in
+minutes. This bench exercises the `scale=` path towards paper sizes —
+dataset C at a tenth of the paper's size (~34K items) — verifying that
+the pipeline and CTCR stay correct and tractable as instances grow.
+"""
+
+import os
+
+import pytest
+
+from benchmarks.common import bench_report
+from repro.algorithms import CTCR
+from repro.catalog import load_dataset
+from repro.core import Variant, score_tree
+from repro.pipeline import preprocess
+
+VARIANT = Variant.threshold_jaccard(0.8)
+
+
+@pytest.mark.skipif(
+    not os.environ.get("REPRO_LARGE"),
+    reason="set REPRO_LARGE=1 for the larger-scale smoke run",
+)
+def test_large_scale_c(benchmark):
+    dataset = load_dataset("C", scale=0.1, seed=42)
+
+    def run():
+        instance, report = preprocess(dataset, VARIANT)
+        tree = CTCR().build(instance, VARIANT)
+        tree.validate(universe=instance.universe, bound=instance.bound)
+        return instance, report, score_tree(tree, instance, VARIANT)
+
+    instance, prep, result = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    bench_report(
+        "Large-scale smoke — dataset C at 10% of paper size",
+        "pipeline and CTCR remain correct and tractable as sizes grow",
+        ["items", "raw queries", "candidate sets", "normalized score"],
+        [[dataset.n_items, prep.raw_queries, len(instance),
+          result.normalized]],
+    )
+    assert result.normalized > 0.2

@@ -1,0 +1,56 @@
+"""Table 1: score contribution of queries vs existing categories.
+
+Paper result (D, threshold Jaccard delta = 0.8): setting the weight
+ratio between query result sets and existing-tree categories to
+90/10 ... 10/90 yields score-contribution splits of roughly the same
+ratio (93/7 ... 7/93) — weight modulation is an effective control over
+how conservative the update is.
+"""
+
+from benchmarks.common import bench_report
+from benchmarks.conftest import instance_for
+from repro.algorithms import CTCR
+from repro.catalog import tree_categories_as_input_sets
+from repro.core import Variant
+from repro.evaluation import contribution_table
+
+VARIANT = Variant.threshold_jaccard(0.8)
+SHARES = [0.9, 0.7, 0.5, 0.3, 0.1]
+
+
+def test_table1_contribution(benchmark, dataset_d_small):
+    queries = instance_for("D", VARIANT, scale=0.003)
+    existing = tree_categories_as_input_sets(
+        dataset_d_small.existing_tree, start_sid=1_000_000
+    )
+    mixed = queries.with_extra_sets(existing)
+
+    rows = benchmark.pedantic(
+        contribution_table,
+        args=(CTCR(), mixed, VARIANT),
+        kwargs={"query_shares": SHARES},
+        rounds=1,
+        iterations=1,
+    )
+
+    bench_report(
+        "Table 1 — contribution per source (threshold Jaccard 0.8, D)",
+        "weight ratio translates into roughly the same score-share ratio "
+        "(paper: 90/10 -> 93.1/6.9 ... 10/90 -> 7.1/92.9)",
+        ["weight queries/existing", "% score queries", "% score existing"],
+        [
+            [
+                f"{r.query_weight_share:.0%}/{1 - r.query_weight_share:.0%}",
+                f"{r.query_score_share:.2%}",
+                f"{r.existing_score_share:.2%}",
+            ]
+            for r in rows
+        ],
+    )
+
+    # Monotone: more query weight -> more query score share; the
+    # extremes land on the right side of 50%.
+    shares = [r.query_score_share for r in rows]
+    assert all(a >= b - 0.03 for a, b in zip(shares, shares[1:]))
+    assert shares[0] > 0.6
+    assert shares[-1] < 0.4

@@ -1,0 +1,50 @@
+"""Reporting helpers shared by the benchmarks.
+
+Benchmark output must reach the console even under pytest's capture, so
+the report writer targets the real stdout and also appends to
+``benchmarks/results.log`` for the EXPERIMENTS.md record.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.algorithms import CCT, CTCR
+from repro.baselines import ExistingTree, ICQ, ICS
+from repro.evaluation import format_table
+
+RESULTS_LOG = Path(__file__).parent / "results.log"
+
+
+def bench_report(
+    title: str,
+    paper_expectation: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> None:
+    """Print one experiment block to the real stdout and the log file."""
+    block = "\n".join(
+        [
+            "",
+            f"=== {title} ===",
+            f"paper: {paper_expectation}",
+            format_table(headers, rows),
+            "",
+        ]
+    )
+    print(block, file=sys.__stdout__)
+    with RESULTS_LOG.open("a", encoding="utf-8") as f:
+        f.write(block + "\n")
+
+
+def all_builders(dataset):
+    """The paper's five algorithms, wired to one dataset's metadata."""
+    return [
+        CTCR(),
+        CCT(),
+        ICQ(),
+        ICS(dataset.titles),
+        ExistingTree(dataset.existing_tree),
+    ]

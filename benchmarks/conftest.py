@@ -1,0 +1,55 @@
+"""Shared fixtures for the benchmark suite.
+
+Datasets and preprocessed instances are cached per session so each
+figure's bench pays only for its own algorithm runs. Scales follow the
+defaults in :mod:`repro.catalog.datasets` (see DESIGN.md Section 4 for
+the paper-size mapping).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog import load_dataset
+from repro.core import Variant
+from repro.pipeline import preprocess
+
+_DATASETS: dict = {}
+_INSTANCES: dict = {}
+
+
+def dataset(name: str, **kwargs):
+    key = (name, tuple(sorted(kwargs.items())))
+    if key not in _DATASETS:
+        _DATASETS[key] = load_dataset(name, seed=42, **kwargs)
+    return _DATASETS[key]
+
+
+def instance_for(name: str, variant: Variant, **kwargs):
+    key = (name, variant.kind, variant.mode, variant.delta,
+           tuple(sorted(kwargs.items())))
+    if key not in _INSTANCES:
+        _INSTANCES[key] = preprocess(dataset(name, **kwargs), variant)[0]
+    return _INSTANCES[key]
+
+
+@pytest.fixture(scope="session")
+def dataset_a():
+    return dataset("A")
+
+
+@pytest.fixture(scope="session")
+def dataset_c():
+    return dataset("C")
+
+
+@pytest.fixture(scope="session")
+def dataset_d_small():
+    # Table 1 runs five CTCR builds over queries + existing categories;
+    # a reduced D keeps that affordable while preserving the domain.
+    return dataset("D", scale=0.003)
+
+
+@pytest.fixture(scope="session")
+def dataset_e():
+    return dataset("E")

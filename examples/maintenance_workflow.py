@@ -1,0 +1,77 @@
+"""The taxonomist's human-in-the-loop workflow (paper Section 5.4).
+
+Walks through the maintenance cycle the XYZ taxonomists evaluated:
+build a tree with CTCR, suggest category labels from the matched
+queries, detect misassigned items (the "Nike Blazer" scenario), rescue
+uncovered queries by lowering their thresholds and re-running, and
+classify newly arriving items into the finished tree. Run::
+
+    python examples/maintenance_workflow.py
+"""
+
+from repro import CTCR, Variant
+from repro.catalog import generate_products, load_dataset
+from repro.core import score_tree
+from repro.labeling import apply_label_suggestions, suggest_labels
+from repro.maintenance import (
+    classify_new_items,
+    detect_misassigned_items,
+    orphaned_items,
+    rescue_uncovered,
+    uncovered_sets,
+)
+from repro.pipeline import preprocess
+
+
+def main() -> None:
+    dataset = load_dataset("A", seed=17)
+    variant = Variant.threshold_jaccard(0.8)
+    instance, _ = preprocess(dataset, variant)
+
+    builder = CTCR()
+    tree = builder.build(instance, variant)
+    report = score_tree(tree, instance, variant)
+    print(f"initial build: score={report.normalized:.4f}, "
+          f"uncovered={len(instance) - report.covered_count}")
+
+    # 1. Label the categories from their matched queries.
+    suggestions = suggest_labels(tree, instance, variant)
+    applied = apply_label_suggestions(tree, suggestions)
+    print(f"labeling: {len(suggestions)} suggestions, {applied} applied")
+    for s in suggestions[:5]:
+        print(f"  C{s.cid}: {s.suggestion!r} "
+              f"(matches {list(s.matched_labels)[:2]}, "
+              f"confidence {s.confidence:.2f})")
+
+    # 2. Detect misassigned items within categories.
+    outliers = detect_misassigned_items(tree, dataset.titles)
+    print(f"\nmisassignment check: {len(outliers)} suspicious items")
+    for o in outliers[:3]:
+        print(f"  {o.item} in {o.category_label!r}: "
+              f"sim {o.similarity_to_centroid:.2f} vs "
+              f"category avg {o.category_average:.2f}")
+
+    # 3. Rescue uncovered queries: lower their thresholds and re-run.
+    missed = uncovered_sets(instance, report)
+    orphans = orphaned_items(instance, report)
+    print(f"\nuncovered queries: {len(missed)} "
+          f"(heaviest: {[q.label for q in missed[:3]]})")
+    print(f"orphaned items (only in uncovered queries): {len(orphans)}")
+    rescue = rescue_uncovered(builder, instance, variant, factor=0.75)
+    print(f"after rescue ({rescue.rounds_used} rounds): "
+          f"uncovered {rescue.initially_uncovered} -> "
+          f"{rescue.finally_uncovered}, "
+          f"score={rescue.report.normalized:.4f}")
+
+    # 4. Classify newly arriving items into the finished tree.
+    new_products = generate_products(dataset.schema, 5, seed=999)
+    new_titles = {f"NEW-{p.pid}": p.title for p in new_products}
+    placements = classify_new_items(rescue.tree, dataset.titles, new_titles)
+    print(f"\nnew-item classification ({len(placements)} placed):")
+    for p in placements:
+        print(f"  {new_titles[p.item]!r} -> {p.category_label!r} "
+              f"(sim {p.similarity:.2f})")
+
+
+if __name__ == "__main__":
+    main()

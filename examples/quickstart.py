@@ -1,0 +1,57 @@
+"""Quickstart: build category trees for the paper's running example.
+
+This reproduces Figure 2: four candidate categories over nine shirts
+("black shirt", "black adidas shirt", "nike shirt", "long sleeve
+shirt"), solved under three OCT variants. Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import CTCR, Variant, make_instance, score_tree
+from repro.core import annotate_matches
+
+
+def main() -> None:
+    # The paper's Figure 2 input: items a-h are shirts, each set is the
+    # result set of one search query, weighted by query frequency.
+    instance = make_instance(
+        [
+            {"a", "b", "c", "d", "e"},  # "black shirt"
+            {"a", "b"},                 # "black adidas shirt"
+            {"c", "d", "e", "f"},       # "nike shirt"
+            {"a", "b", "f", "g", "h"},  # "long sleeve shirt"
+        ],
+        weights=[2.0, 1.0, 1.0, 1.0],
+        labels=[
+            "black shirt",
+            "black adidas shirt",
+            "nike shirt",
+            "long sleeve shirt",
+        ],
+    )
+
+    builder = CTCR()
+    for variant in (
+        Variant.exact(),
+        Variant.perfect_recall(0.8),
+        Variant.threshold_jaccard(0.6),
+    ):
+        tree = builder.build(instance, variant)
+        tree.validate(universe=instance.universe, bound=instance.bound)
+        report = score_tree(tree, instance, variant)
+        annotate_matches(tree, instance, variant)
+
+        print(f"\n=== {variant.describe()} ===")
+        print(f"normalized score: {report.normalized:.4f} "
+              f"({report.covered_count}/{len(instance)} queries covered)")
+        print(tree.to_text())
+        for cat in tree.categories():
+            if cat.matched_sids:
+                matched = ", ".join(
+                    repr(instance.get(sid).label) for sid in cat.matched_sids
+                )
+                print(f"  {cat.label or f'C{cat.cid}'} covers: {matched}")
+
+
+if __name__ == "__main__":
+    main()

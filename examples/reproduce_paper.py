@@ -1,0 +1,130 @@
+"""One-shot reproduction driver: every headline experiment, one run.
+
+Runs compact versions of the paper's experiments back to back and
+prints each table/figure's series with the paper's expectation. The
+full benchmark suite (`pytest benchmarks/ --benchmark-only`) runs the
+same experiments at larger scale with shape assertions; this script is
+the quick interactive tour. Run::
+
+    python examples/reproduce_paper.py
+"""
+
+from repro import CCT, CTCR, ExistingTree, ICQ, ICS, Variant
+from repro.catalog import load_dataset, tree_categories_as_input_sets
+from repro.evaluation import (
+    contribution_table,
+    print_experiment,
+    run_comparison,
+    threshold_sweep,
+    train_test_evaluation,
+    tree_cohesiveness,
+)
+from repro.pipeline import preprocess
+from repro.utils.timer import Timer
+
+
+def main() -> None:
+    dataset = load_dataset("A", seed=42)
+    builders_of = lambda ds: [
+        CTCR(), CCT(), ICQ(), ICS(ds.titles), ExistingTree(ds.existing_tree)
+    ]
+
+    # Figures 8a-8c: score comparison per variant.
+    for title, variant in [
+        ("Figure 8a (threshold Jaccard 0.8)", Variant.threshold_jaccard(0.8)),
+        ("Figure 8b (Perfect-Recall 0.6)", Variant.perfect_recall(0.6)),
+        ("Figure 8c (Exact)", Variant.exact()),
+    ]:
+        instance, _ = preprocess(dataset, variant)
+        rows = run_comparison(builders_of(dataset), instance, variant)
+        print_experiment(
+            title + ", dataset A",
+            "CTCR first, CCT second, baselines behind",
+            ["algorithm", "score", "covered"],
+            [[r.name, r.normalized_score, r.covered_count] for r in rows],
+        )
+
+    # Figure 8d: train/test robustness. The split must run over the
+    # *unmerged* queries (merging removes the near-duplicates that carry
+    # held-out signal), on a log with realistic redundancy.
+    from repro.pipeline import PreprocessConfig
+
+    redundant = load_dataset("A", seed=42, synonym_fraction=0.6)
+    variant = Variant.threshold_jaccard(0.7)
+    instance, _ = preprocess(
+        redundant, variant, PreprocessConfig(merge_queries=False)
+    )
+    results = train_test_evaluation(
+        builders_of(redundant), instance, variant, repetitions=3
+    )
+    print_experiment(
+        "Figure 8d (train/test, threshold Jaccard 0.7)",
+        "held-out scores lower; CTCR still leads",
+        ["algorithm", "test score", "train score"],
+        [[r.name, r.mean_test_score, r.mean_train_score] for r in results],
+    )
+
+    # Figure 8f: scalability flavour (A vs B).
+    rows = []
+    for name in ("A", "B"):
+        ds = load_dataset(name, seed=42)
+        v = Variant.threshold_jaccard(0.8)
+        inst, _ = preprocess(ds, v)
+        with Timer() as t:
+            CTCR().build(inst, v)
+        rows.append([name, len(inst), ds.n_items, round(t.elapsed, 2)])
+    print_experiment(
+        "Figure 8f (scalability, A vs B)",
+        "time grows with dataset size, offline-friendly",
+        ["dataset", "sets", "items", "seconds"],
+        rows,
+    )
+
+    # Figures 8g/8h: threshold sweeps.
+    variant = Variant.threshold_jaccard(0.8)
+    instance, _ = preprocess(dataset, variant)
+    points = threshold_sweep(
+        CTCR(), instance, variant, [0.5, 0.7, 0.9]
+    )
+    print_experiment(
+        "Figure 8g (CTCR threshold sweep)",
+        "score rises as delta drops",
+        ["delta", "score", "covered"],
+        [[p.delta, p.normalized_score, p.covered_count] for p in points],
+    )
+
+    # Table 1: source contributions.
+    existing_sets = tree_categories_as_input_sets(
+        dataset.existing_tree, start_sid=900_000
+    )
+    mixed = instance.with_extra_sets(existing_sets)
+    rows = contribution_table(
+        CTCR(), mixed, variant, query_shares=[0.9, 0.5, 0.1]
+    )
+    print_experiment(
+        "Table 1 (source contributions)",
+        "score shares track the weight shares",
+        ["weight queries", "% score queries", "% score existing"],
+        [
+            [f"{r.query_weight_share:.0%}",
+             f"{r.query_score_share:.1%}",
+             f"{r.existing_score_share:.1%}"]
+            for r in rows
+        ],
+    )
+
+    # Section 5.4: cohesiveness parity.
+    tree = CTCR().build(instance, variant)
+    et_tree = ExistingTree(dataset.existing_tree).build(instance, variant)
+    ours = tree_cohesiveness(tree, dataset.titles)
+    theirs = tree_cohesiveness(et_tree, dataset.titles)
+    print_experiment(
+        "Section 5.4 (cohesiveness)",
+        "CTCR categories as cohesive as the manual tree",
+        ["tree", "uniform avg tf-idf similarity"],
+        [["CTCR", ours.uniform_average], ["Existing", theirs.uniform_average]],
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""repro — reproduction of "Automated Category Tree Construction in
+E-Commerce" (Avron, Gershtein, Guy, Milo, Novgorodov; SIGMOD 2022).
+
+The package implements the paper's Optimal Category Tree (OCT) model,
+its two construction heuristics — the MIS-based **CTCR** and the
+clustering-based **CCT** — the baselines it compares against (IC-S,
+IC-Q, and the existing tree), every substrate they need (weighted MIS
+solvers, agglomerative clustering, a search-engine simulator, synthetic
+e-commerce catalogs and query logs, the preprocessing pipeline), and the
+full evaluation harness for the paper's tables and figures.
+
+Quickstart::
+
+    from repro import CTCR, Variant, make_instance, score_tree
+
+    instance = make_instance(
+        [{"a", "b", "c"}, {"a", "b"}, {"d", "e"}], weights=[3, 2, 1]
+    )
+    variant = Variant.threshold_jaccard(0.8)
+    tree = CTCR().build(instance, variant)
+    print(score_tree(tree, instance, variant).normalized)
+"""
+
+from repro.algorithms import CCT, CCTConfig, CTCR, CTCRConfig, TreeBuilder
+from repro.baselines import ICQ, ICS, ExistingTree
+from repro.core import (
+    Category,
+    CategoryTree,
+    InputSet,
+    OCTInstance,
+    ScoreMode,
+    ScoreReport,
+    SimilarityKind,
+    Variant,
+    make_instance,
+    score_tree,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CCT",
+    "CCTConfig",
+    "CTCR",
+    "CTCRConfig",
+    "Category",
+    "CategoryTree",
+    "ExistingTree",
+    "ICQ",
+    "ICS",
+    "InputSet",
+    "OCTInstance",
+    "ScoreMode",
+    "ScoreReport",
+    "SimilarityKind",
+    "TreeBuilder",
+    "Variant",
+    "__version__",
+    "make_instance",
+    "score_tree",
+]

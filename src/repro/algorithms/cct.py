@@ -1,0 +1,148 @@
+"""CCT — the Clustering-based Category Tree algorithm (paper Section 4).
+
+CCT clusters the *input sets* (not the items) to derive the tree
+structure: each set is embedded as the vector of its similarities to all
+other sets (the "global context"), an agglomerative clustering over the
+embeddings yields a dendrogram, the dendrogram becomes the tree skeleton
+with one leaf category per input set, and the items are then rationed by
+the same greedy assignment procedure as CTCR (Algorithm 2), followed by
+condensing. Conflicts are never resolved explicitly — once a conflicting
+set's items are spent, the greedy assignment simply stops prioritizing
+the sets that can no longer be covered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.algorithms.assignment import assign_duplicates, assign_safe_items
+from repro.algorithms.base import BuildContext, TreeBuilder
+from repro.algorithms.condense import (
+    add_misc_category,
+    remove_noncovered_items,
+    remove_noncovering_categories,
+)
+from repro.clustering.agglomerative import agglomerative_clustering
+from repro.clustering.dendrogram import Dendrogram
+from repro.core.input_sets import OCTInstance
+from repro.core.similarity import raw_similarity_from_sizes
+from repro.core.tree import CategoryTree
+from repro.core.variants import Variant
+
+
+@dataclass(frozen=True)
+class CCTConfig:
+    """Tuning switches for CCT."""
+
+    linkage: str = "average"
+    metric: str = "euclidean"
+    condense: bool = True
+    # Ablation: replace the global-context embeddings with plain pairwise
+    # dissimilarities (1 - S(q_i, q_j)) as the clustering distance.
+    global_context: bool = True
+
+
+def set_embeddings(instance: OCTInstance, variant: Variant) -> np.ndarray:
+    """The n x n similarity embeddings of Section 4.
+
+    Entry ``[j, i]`` is the raw similarity of sets ``j`` and ``i`` under
+    the variant's base measure; for Perfect-Recall the paper uses the
+    average of precision and recall (which is symmetric across the pair).
+    """
+    sets = instance.sets
+    n = len(sets)
+    matrix = np.zeros((n, n), dtype=np.float64)
+    index_of = {q.sid: i for i, q in enumerate(sets)}
+    sizes = [len(q.items) for q in sets]
+
+    # Sparse pairwise intersections through the item -> sets index.
+    pair_inter: dict[tuple[int, int], int] = {}
+    for _item, with_item in instance.sets_containing().items():
+        ids = sorted(index_of[q.sid] for q in with_item)
+        for a_pos, a in enumerate(ids):
+            for b in ids[a_pos + 1 :]:
+                pair_inter[(a, b)] = pair_inter.get((a, b), 0) + 1
+    for (a, b), inter in pair_inter.items():
+        sim = raw_similarity_from_sizes(
+            variant.kind, sizes[a], sizes[b], inter
+        )
+        matrix[a, b] = sim
+        matrix[b, a] = sim
+    np.fill_diagonal(matrix, 1.0)
+    return matrix
+
+
+class CCT(TreeBuilder):
+    """Clustering-based category tree construction (Algorithm 3)."""
+
+    name = "CCT"
+
+    def __init__(self, config: CCTConfig | None = None) -> None:
+        self.config = config or CCTConfig()
+
+    def build(self, instance: OCTInstance, variant: Variant) -> CategoryTree:
+        tree = CategoryTree()
+        ctx = BuildContext(tree=tree, instance=instance, variant=variant)
+        if len(instance) == 0:
+            add_misc_category(tree, instance)
+            return tree
+
+        similarities = set_embeddings(instance, variant)
+        if self.config.global_context:
+            dendrogram = agglomerative_clustering(
+                similarities,
+                linkage=self.config.linkage,
+                metric=self.config.metric,
+            )
+        else:
+            dendrogram = agglomerative_clustering(
+                similarities,
+                linkage=self.config.linkage,
+                precomputed=1.0 - similarities,
+            )
+        self._skeleton_from_dendrogram(ctx, dendrogram)
+
+        duplicates = assign_safe_items(ctx, instance.sets)
+        if duplicates:
+            assign_duplicates(ctx, instance.sets, duplicates)
+        if self.config.condense:
+            remove_noncovered_items(tree, instance, variant)
+            remove_noncovering_categories(tree, instance, variant)
+        add_misc_category(tree, instance)
+        return tree
+
+    def _skeleton_from_dendrogram(
+        self, ctx: BuildContext, dendrogram: Dendrogram
+    ) -> None:
+        """Materialize the dendrogram as the category-tree skeleton.
+
+        The dendrogram root maps onto the tree root; every other internal
+        node becomes an (initially empty) category and every dendrogram
+        leaf becomes the dedicated leaf category of one input set.
+        """
+        sets = ctx.instance.sets
+        child_map = dendrogram.children()
+        stack = [(dendrogram.root_id, ctx.tree.root)]
+        while stack:
+            node_id, parent_cat = stack.pop()
+            if node_id < dendrogram.n_leaves:
+                q = sets[node_id]
+                cat = ctx.tree.add_category(
+                    items=(),
+                    parent=parent_cat,
+                    label=q.label or f"q{q.sid}",
+                )
+                cat.matched_sids = [q.sid]
+                ctx.designated[q.sid] = cat
+                ctx.target_sets[cat.cid] = q.items
+                continue
+            if node_id == dendrogram.root_id:
+                cat = ctx.tree.root
+            else:
+                cat = ctx.tree.add_category(
+                    items=(), parent=parent_cat, label=f"cluster{node_id}"
+                )
+            for child in child_map[node_id]:
+                stack.append((child, cat))

@@ -1,0 +1,119 @@
+"""Tree condensing (Algorithm 1, lines 24-26).
+
+After item assignment, items appearing only in uncovered input sets are
+stripped (they can only hurt precision and are re-homed in the
+miscellaneous category), and categories that are the best cover of no
+input set are spliced out. Both operations can only increase the score.
+Finally, every universe item absent from the tree lands in a fresh
+``C_misc`` category under the root.
+"""
+
+from __future__ import annotations
+
+from repro.core.input_sets import OCTInstance
+from repro.core.scoring import score_tree
+from repro.core.tree import Category, CategoryTree
+from repro.core.variants import Variant
+
+MISC_LABEL = "C_misc"
+
+
+def remove_noncovered_items(
+    tree: CategoryTree, instance: OCTInstance, variant: Variant
+) -> int:
+    """Strip items that appear in no covered input set; returns count."""
+    report = score_tree(tree, instance, variant)
+    keep: set = set()
+    for q in instance:
+        if report.per_set[q.sid].covered:
+            keep |= q.items
+    removed: set = set()
+    for cat in tree.categories():
+        extraneous = cat.items - keep
+        if extraneous:
+            removed |= extraneous
+            cat.items -= extraneous
+    return len(removed)
+
+
+def _best_nonroot_covers(
+    tree: CategoryTree, instance: OCTInstance, variant: Variant
+) -> set[int]:
+    """cids of the best non-root cover of each coverable set.
+
+    The root is deliberately ignored: its contents change when the
+    miscellaneous category is added later, so a cover that exists only
+    at the root cannot justify retaining anything.
+    """
+    from repro.core.similarity import variant_score_from_sizes
+
+    cats = [c for c in tree.non_root_categories()]
+    sizes = {c.cid: len(c.items) for c in cats}
+    depths = {c.cid: c.depth for c in cats}
+    item_to_cids: dict = {}
+    for cat in cats:
+        for item in cat.items:
+            item_to_cids.setdefault(item, []).append(cat.cid)
+    retained: set[int] = set()
+    for q in instance:
+        delta = instance.effective_threshold(q, variant.delta)
+        counts: dict[int, int] = {}
+        for item in q.items:
+            for cid in item_to_cids.get(item, ()):
+                counts[cid] = counts.get(cid, 0) + 1
+        best = None  # (score, precision, depth, -cid)
+        best_cid = None
+        for cid, common in counts.items():
+            s = variant_score_from_sizes(
+                variant, len(q.items), sizes[cid], common, delta
+            )
+            if s <= 0.0:
+                continue
+            prec = common / sizes[cid] if sizes[cid] else 0.0
+            key = (s, prec, depths[cid], -cid)
+            if best is None or key > best:
+                best = key
+                best_cid = cid
+        if best_cid is not None:
+            retained.add(best_cid)
+    return retained
+
+
+def remove_noncovering_categories(
+    tree: CategoryTree, instance: OCTInstance, variant: Variant
+) -> int:
+    """Splice out categories that are no set's best cover; returns count.
+
+    When several categories cover a set, only the highest-precision one
+    is considered covering and retained. Covers provided solely by the
+    root retain nothing — the root is not final until the miscellaneous
+    category lands.
+    """
+    covering_cids = _best_nonroot_covers(tree, instance, variant)
+    doomed = [
+        cat
+        for cat in tree.non_root_categories()
+        if cat.cid not in covering_cids
+    ]
+    for cat in doomed:
+        tree.remove_category(cat)
+    return len(doomed)
+
+
+def add_misc_category(
+    tree: CategoryTree, instance: OCTInstance
+) -> Category | None:
+    """Gather universe items absent from the tree under ``C_misc``."""
+    missing = set(instance.universe) - tree.root.items
+    if not missing:
+        return None
+    return tree.add_category(missing, parent=tree.root, label=MISC_LABEL)
+
+
+def condense(
+    tree: CategoryTree, instance: OCTInstance, variant: Variant
+) -> None:
+    """Full condensing pass: strip items, drop categories, add misc."""
+    remove_noncovered_items(tree, instance, variant)
+    remove_noncovering_categories(tree, instance, variant)
+    add_misc_category(tree, instance)

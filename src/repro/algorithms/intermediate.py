@@ -1,0 +1,89 @@
+"""Intermediate categories (Algorithm 1, lines 21-23).
+
+When recall errors are allowed, intersecting sets may end up covered on
+separate branches with their shared items partitioned. For every
+category with more than two children, a new child is repeatedly inserted
+as the parent of the two child categories whose corresponding sets share
+the largest fraction of the smaller set, recombining the partitioned
+items; the new category corresponds to the union of its children's sets
+and can itself be merged further in later iterations.
+
+Pair intersections are seeded once through an item index and maintained
+incrementally across merges, so the stage costs roughly one pass over
+the children's sets rather than an all-pairs rescan per insertion.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.base import BuildContext
+from repro.core.tree import Category
+
+
+def _recombine_children(ctx: BuildContext, parent: Category) -> int:
+    """Insert intermediate parents under one category; returns count."""
+    child_sets: dict[int, frozenset] = {}
+    cats: dict[int, Category] = {}
+    for child in parent.children:
+        target = ctx.target_sets.get(child.cid)
+        if target:
+            child_sets[child.cid] = target
+            cats[child.cid] = child
+
+    # Seed pairwise intersection counts through an item index.
+    index: dict = {}
+    for cid, items in child_sets.items():
+        for item in items:
+            index.setdefault(item, []).append(cid)
+    inter: dict[tuple[int, int], int] = {}
+    for cids in index.values():
+        cids.sort()
+        for i, a in enumerate(cids):
+            for b in cids[i + 1 :]:
+                inter[(a, b)] = inter.get((a, b), 0) + 1
+
+    added = 0
+    while len(parent.children) > 2 and inter:
+        (a, b), shared = max(
+            inter.items(),
+            key=lambda kv: (
+                kv[1] / min(len(child_sets[kv[0][0]]), len(child_sets[kv[0][1]])),
+                -kv[0][0],
+                -kv[0][1],
+            ),
+        )
+        if shared == 0:
+            break
+        label = " + ".join(
+            filter(None, (cats[a].label, cats[b].label))
+        )
+        node = ctx.tree.insert_parent([cats[a], cats[b]], label=label)
+        union = frozenset(child_sets[a] | child_sets[b])
+        ctx.target_sets[node.cid] = union
+        added += 1
+
+        # Retire a and b; introduce the union node.
+        for cid in (a, b):
+            del child_sets[cid]
+            del cats[cid]
+        inter = {
+            pair: count
+            for pair, count in inter.items()
+            if a not in pair and b not in pair
+        }
+        for cid, items in child_sets.items():
+            common = len(union & items)
+            if common:
+                pair = (min(cid, node.cid), max(cid, node.cid))
+                inter[pair] = common
+        child_sets[node.cid] = union
+        cats[node.cid] = node
+    return added
+
+
+def add_intermediate_categories(ctx: BuildContext) -> int:
+    """Insert recombining intermediate categories; returns how many."""
+    added = 0
+    queue = [cat for cat in ctx.tree.categories() if len(cat.children) > 2]
+    for parent in queue:
+        added += _recombine_children(ctx, parent)
+    return added

@@ -1,0 +1,19 @@
+"""Baseline tree builders: IC-S, IC-Q, and the existing tree (ET)."""
+
+from repro.baselines.existing import ExistingTree
+from repro.baselines.ic_q import ICQ, ICQConfig
+from repro.baselines.ic_s import ICS, ICSConfig
+from repro.baselines.item_clustering import (
+    reduce_groups,
+    tree_from_item_dendrogram,
+)
+
+__all__ = [
+    "ExistingTree",
+    "ICQ",
+    "ICQConfig",
+    "ICS",
+    "ICSConfig",
+    "reduce_groups",
+    "tree_from_item_dendrogram",
+]

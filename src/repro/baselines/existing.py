@@ -1,0 +1,30 @@
+"""ET baseline: the existing (manually built) category tree.
+
+Represents the approach currently taken by e-commerce platforms — the
+tree taxonomists maintain by hand, generated here by
+:mod:`repro.catalog.taxonomy`. ``build`` returns a copy of the wrapped
+tree so the evaluation cannot mutate the shared original, with items the
+instance knows but the tree lacks gathered into a misc category.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.base import TreeBuilder
+from repro.algorithms.condense import add_misc_category
+from repro.core.input_sets import OCTInstance
+from repro.core.tree import CategoryTree
+from repro.core.variants import Variant
+
+
+class ExistingTree(TreeBuilder):
+    """Wraps a pre-built tree as a (constant) baseline builder."""
+
+    name = "ET"
+
+    def __init__(self, tree: CategoryTree) -> None:
+        self.tree = tree
+
+    def build(self, instance: OCTInstance, variant: Variant) -> CategoryTree:
+        clone = self.tree.copy()
+        add_misc_category(clone, instance)
+        return clone

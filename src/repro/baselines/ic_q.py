@@ -1,0 +1,66 @@
+"""IC-Q baseline: membership-vector item clustering (paper Section 5.2).
+
+A hybrid between CCT and IC-S: items are clustered directly (like IC-S)
+but their representation is the binary vector of input sets containing
+them (like CCT's input signal). Items with identical membership are
+compressed into one signature group first — an exact reduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algorithms.base import TreeBuilder
+from repro.algorithms.condense import add_misc_category
+from repro.baselines.item_clustering import (
+    reduce_groups,
+    tree_from_item_dendrogram,
+)
+from repro.clustering.agglomerative import agglomerative_clustering
+from repro.core.input_sets import OCTInstance
+from repro.core.tree import CategoryTree
+from repro.core.variants import Variant
+from repro.embeddings.membership import membership_groups, signature_vectors
+from repro.utils.rng import make_rng
+
+
+@dataclass(frozen=True)
+class ICQConfig:
+    """Knobs for the IC-Q baseline."""
+
+    max_leaves: int = 1000
+    min_category_size: int = 3
+    linkage: str = "average"
+    seed: int = 0
+
+
+class ICQ(TreeBuilder):
+    """Set-membership item clustering."""
+
+    name = "IC-Q"
+
+    def __init__(self, config: ICQConfig | None = None) -> None:
+        self.config = config or ICQConfig()
+
+    def build(self, instance: OCTInstance, variant: Variant) -> CategoryTree:
+        if not instance.universe:
+            return CategoryTree()
+        rng = make_rng(self.config.seed)
+        groups = membership_groups(instance)
+        vectors = signature_vectors(groups, instance)
+        vectors, members = reduce_groups(
+            vectors, groups.members, self.config.max_leaves, rng
+        )
+        if len(members) == 1:
+            tree = CategoryTree()
+            tree.add_category(members[0], parent=tree.root)
+            add_misc_category(tree, instance)
+            return tree
+        dendrogram = agglomerative_clustering(
+            vectors, linkage=self.config.linkage, metric="euclidean"
+        )
+        tree = tree_from_item_dendrogram(
+            dendrogram, members, self.config.min_category_size
+        )
+        add_misc_category(tree, instance)
+        return tree

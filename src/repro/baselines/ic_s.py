@@ -1,0 +1,84 @@
+"""IC-S baseline: semantic item clustering (paper Section 5.2).
+
+An adaptation of Hsieh et al.'s e-commerce categorization: embed product
+titles and run hierarchical clustering over the item embeddings. Unlike
+CCT it clusters items directly and ignores the input sets entirely,
+relying only on item metadata — which is exactly why the paper uses it
+as the semantic strawman. The proprietary domain-trained embedding model
+is replaced by hashed TF-IDF title embeddings (see
+:mod:`repro.embeddings.text`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+import numpy as np
+
+from repro.algorithms.base import TreeBuilder
+from repro.algorithms.condense import add_misc_category
+from repro.baselines.item_clustering import (
+    reduce_groups,
+    tree_from_item_dendrogram,
+)
+from repro.clustering.agglomerative import agglomerative_clustering
+from repro.core.input_sets import OCTInstance
+from repro.core.tree import CategoryTree
+from repro.core.variants import Variant
+from repro.embeddings.text import title_embeddings
+from repro.utils.rng import make_rng
+
+Item = Hashable
+
+
+@dataclass(frozen=True)
+class ICSConfig:
+    """Knobs for the IC-S baseline."""
+
+    embedding_dim: int = 64
+    max_leaves: int = 1000
+    min_category_size: int = 3
+    linkage: str = "average"
+    seed: int = 0
+
+
+class ICS(TreeBuilder):
+    """Title-embedding item clustering."""
+
+    name = "IC-S"
+
+    def __init__(
+        self, titles: dict[Item, str], config: ICSConfig | None = None
+    ) -> None:
+        self.titles = titles
+        self.config = config or ICSConfig()
+
+    def build(self, instance: OCTInstance, variant: Variant) -> CategoryTree:
+        items = sorted(instance.universe, key=str)
+        if not items:
+            return CategoryTree()
+        rng = make_rng(self.config.seed)
+        # Exact compression: identical titles are interchangeable.
+        by_title: dict[str, list[Item]] = {}
+        for item in items:
+            by_title.setdefault(self.titles.get(item, ""), []).append(item)
+        title_list = sorted(by_title)
+        members = [by_title[t] for t in title_list]
+        vectors = title_embeddings(title_list, dim=self.config.embedding_dim)
+        vectors, members = reduce_groups(
+            vectors, members, self.config.max_leaves, rng
+        )
+        if len(members) == 1:
+            tree = CategoryTree()
+            tree.add_category(members[0], parent=tree.root)
+            add_misc_category(tree, instance)
+            return tree
+        dendrogram = agglomerative_clustering(
+            np.asarray(vectors), linkage=self.config.linkage, metric="cosine"
+        )
+        tree = tree_from_item_dendrogram(
+            dendrogram, members, self.config.min_category_size
+        )
+        add_misc_category(tree, instance)
+        return tree

@@ -1,0 +1,46 @@
+"""Synthetic e-commerce catalogs, taxonomies, and query logs."""
+
+from repro.catalog.attributes import ELECTRONICS, FASHION, SCHEMAS, Attribute, DomainSchema
+from repro.catalog.datasets import (
+    DATASET_SPECS,
+    DatasetSpec,
+    SyntheticDataset,
+    load_dataset,
+)
+from repro.catalog.products import (
+    Product,
+    generate_products,
+    matching_products,
+    titles_of,
+)
+from repro.catalog.queries import QueryLog, RawQuery, TrendEvent, generate_query_log
+from repro.catalog.taxonomy import (
+    build_existing_tree,
+    tree_categories_as_input_sets,
+)
+from repro.catalog.trends import Trend, detect_trending_queries, fading_queries
+
+__all__ = [
+    "Attribute",
+    "DATASET_SPECS",
+    "DatasetSpec",
+    "DomainSchema",
+    "ELECTRONICS",
+    "FASHION",
+    "Product",
+    "QueryLog",
+    "RawQuery",
+    "SCHEMAS",
+    "SyntheticDataset",
+    "Trend",
+    "TrendEvent",
+    "build_existing_tree",
+    "detect_trending_queries",
+    "fading_queries",
+    "generate_products",
+    "generate_query_log",
+    "load_dataset",
+    "matching_products",
+    "titles_of",
+    "tree_categories_as_input_sets",
+]

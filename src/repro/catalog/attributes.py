@@ -1,0 +1,250 @@
+"""Attribute schemas for synthetic product catalogs.
+
+The paper's datasets come from the Fashion (A, B, C) and Electronics
+(D, E) domains. Products are attribute combinations — exactly the
+structure that makes candidate categories overlap, nest, and conflict:
+"black shirts" and "adidas shirts" intersect without nesting, which is
+the paper's prototypical 2-conflict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """One product attribute: a name, its values, and a popularity skew.
+
+    Values are sampled with Zipf-like weights ``1/(rank+1)^skew``, so
+    early values dominate the catalog the way popular brands do.
+    ``applies_to`` restricts a conditional attribute to certain head
+    values (sleeve length only exists for tops, storage only for
+    storage-bearing electronics); ``None`` means universal.
+    """
+
+    name: str
+    values: tuple[str, ...]
+    skew: float = 0.8
+    in_title_probability: float = 0.9
+    applies_to: tuple[str, ...] | None = None
+
+    def weights(self) -> list[float]:
+        return [1.0 / (i + 1) ** self.skew for i in range(len(self.values))]
+
+    def applicable(self, head_value: str) -> bool:
+        return self.applies_to is None or head_value in self.applies_to
+
+
+@dataclass(frozen=True)
+class DomainSchema:
+    """A product domain: its attributes plus title noise vocabulary."""
+
+    domain: str
+    attributes: tuple[Attribute, ...]
+    noise_tokens: tuple[str, ...]
+    # The attribute whose value always opens the title (the product type).
+    head_attribute: str
+
+    def attribute(self, name: str) -> Attribute:
+        for attr in self.attributes:
+            if attr.name == name:
+                return attr
+        raise KeyError(f"no attribute named {name!r} in {self.domain}")
+
+    def attribute_names(self) -> list[str]:
+        return [attr.name for attr in self.attributes]
+
+
+FASHION = DomainSchema(
+    domain="fashion",
+    head_attribute="product_type",
+    attributes=(
+        Attribute(
+            "product_type",
+            (
+                "shirt", "pants", "dress", "jacket", "shoes",
+                "skirt", "shorts", "sweater", "socks", "hat",
+            ),
+            skew=0.6,
+            in_title_probability=1.0,
+        ),
+        Attribute(
+            "brand",
+            (
+                "nike", "adidas", "zara", "levis", "puma",
+                "gap", "reebok", "umbro", "guess", "diesel",
+            ),
+            skew=0.9,
+        ),
+        Attribute(
+            "color",
+            (
+                "black", "white", "blue", "red", "grey",
+                "green", "pink", "navy", "brown", "yellow",
+            ),
+            skew=0.7,
+        ),
+        Attribute("gender", ("men", "women", "kids"), skew=0.4),
+        Attribute(
+            "material",
+            ("cotton", "polyester", "denim", "wool", "leather", "silk"),
+            skew=0.8,
+            in_title_probability=0.5,
+        ),
+        Attribute(
+            "sleeve",
+            ("long sleeve", "short sleeve", "sleeveless"),
+            skew=0.5,
+            in_title_probability=0.4,
+            applies_to=("shirt", "dress", "jacket", "sweater"),
+        ),
+    ),
+    noise_tokens=(
+        "classic", "premium", "casual", "sport", "vintage",
+        "slim", "regular", "new", "sale", "original",
+    ),
+)
+
+ELECTRONICS = DomainSchema(
+    domain="electronics",
+    head_attribute="product_type",
+    attributes=(
+        Attribute(
+            "product_type",
+            (
+                "phone", "laptop", "camera", "tablet", "tv",
+                "headphones", "speaker", "monitor", "keyboard", "mouse",
+                "charger", "memory card", "case",
+            ),
+            skew=0.5,
+            in_title_probability=1.0,
+        ),
+        Attribute(
+            "brand",
+            (
+                "samsung", "apple", "sony", "lg", "canon",
+                "dell", "hp", "lenovo", "bose", "jbl",
+                "sandisk", "anker", "logitech", "nikon",
+            ),
+            skew=0.9,
+        ),
+        Attribute(
+            "color",
+            ("black", "white", "silver", "grey", "blue", "red", "gold"),
+            skew=0.9,
+            in_title_probability=0.6,
+        ),
+        Attribute(
+            "storage",
+            ("32gb", "64gb", "128gb", "256gb", "512gb", "1tb"),
+            skew=0.6,
+            in_title_probability=0.5,
+            applies_to=("phone", "laptop", "tablet", "memory card"),
+        ),
+        Attribute(
+            "condition",
+            ("new", "refurbished", "open box"),
+            skew=1.4,
+            in_title_probability=0.3,
+        ),
+    ),
+    noise_tokens=(
+        "pro", "max", "plus", "ultra", "wireless",
+        "portable", "smart", "hd", "original", "bundle",
+    ),
+)
+
+HOME = DomainSchema(
+    domain="home",
+    head_attribute="product_type",
+    attributes=(
+        Attribute(
+            "product_type",
+            (
+                "drill", "hammer", "ladder", "paint", "faucet",
+                "lamp", "shelf", "rug", "curtain", "heater", "fan",
+            ),
+            skew=0.5,
+            in_title_probability=1.0,
+        ),
+        Attribute(
+            "brand",
+            (
+                "dewalt", "bosch", "makita", "ryobi", "stanley",
+                "philips", "ikea", "behr", "moen", "honeywell",
+            ),
+            skew=0.9,
+        ),
+        Attribute(
+            "color",
+            ("black", "white", "grey", "silver", "beige", "oak"),
+            skew=0.8,
+            in_title_probability=0.5,
+        ),
+        Attribute(
+            "power",
+            ("corded", "cordless", "manual"),
+            skew=0.6,
+            in_title_probability=0.4,
+            applies_to=("drill", "heater", "fan", "lamp"),
+        ),
+        Attribute(
+            "room",
+            ("kitchen", "bathroom", "bedroom", "garage", "garden"),
+            skew=0.5,
+            in_title_probability=0.4,
+        ),
+    ),
+    noise_tokens=(
+        "heavy", "duty", "compact", "deluxe", "value",
+        "pack", "set", "modern", "classic", "premium",
+    ),
+)
+
+INNERWEAR = DomainSchema(
+    domain="innerwear",
+    head_attribute="product_type",
+    attributes=(
+        Attribute(
+            "product_type",
+            ("bra", "brief", "camisole", "bodysuit", "slip", "legging"),
+            skew=0.5,
+            in_title_probability=1.0,
+        ),
+        Attribute(
+            "brand",
+            ("victoria", "calvin", "hanes", "maidenform", "warner"),
+            skew=0.9,
+        ),
+        Attribute(
+            "color",
+            ("black", "white", "nude", "pink", "red", "navy"),
+            skew=0.7,
+        ),
+        Attribute(
+            "material",
+            ("cotton", "lace", "microfiber", "silk"),
+            skew=0.7,
+            in_title_probability=0.6,
+        ),
+        Attribute(
+            "style",
+            ("wireless", "push up", "seamless", "sport"),
+            skew=0.6,
+            in_title_probability=0.5,
+            applies_to=("bra", "bodysuit"),
+        ),
+    ),
+    noise_tokens=(
+        "comfort", "smooth", "everyday", "stretch", "soft",
+        "classic", "invisible", "light",
+    ),
+)
+
+SCHEMAS = {
+    "fashion": FASHION,
+    "electronics": ELECTRONICS,
+    "home": HOME,
+    "innerwear": INNERWEAR,
+}

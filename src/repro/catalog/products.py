@@ -1,0 +1,104 @@
+"""Synthetic product generation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.catalog.attributes import DomainSchema
+from repro.utils.rng import make_rng
+
+
+@dataclass(frozen=True)
+class Product:
+    """One catalog item: an id, its attribute values, and a title."""
+
+    pid: str
+    domain: str
+    attributes: dict[str, str]
+    title: str
+
+    def __hash__(self) -> int:  # dataclass with dict field
+        return hash(self.pid)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Product) and other.pid == self.pid
+
+
+def _make_title(
+    schema: DomainSchema, attributes: dict[str, str], rng
+) -> str:
+    """Compose a title from attribute values plus occasional noise.
+
+    The head attribute (product type) always appears, last — matching
+    how real listings read ("black adidas cotton shirt"); other values
+    appear with their attribute's ``in_title_probability``.
+    """
+    words: list[str] = []
+    for attr in schema.attributes:
+        if attr.name == schema.head_attribute or attr.name not in attributes:
+            continue
+        if rng.random() < attr.in_title_probability:
+            words.append(attributes[attr.name])
+    rng.shuffle(words)
+    if rng.random() < 0.35:
+        words.insert(
+            rng.randrange(len(words) + 1), rng.choice(schema.noise_tokens)
+        )
+    words.append(attributes[schema.head_attribute])
+    return " ".join(words)
+
+
+def generate_products(
+    schema: DomainSchema, count: int, seed: int = 0
+) -> list[Product]:
+    """Generate ``count`` products with Zipf-skewed attribute values.
+
+    The head attribute (product type) is drawn first; conditional
+    attributes are only assigned when they apply to that type.
+    """
+    rng = make_rng(seed)
+    value_choices = {
+        attr.name: (list(attr.values), attr.weights())
+        for attr in schema.attributes
+    }
+    head_attr = schema.attribute(schema.head_attribute)
+    products = []
+    for i in range(count):
+        head_values, head_weights = value_choices[head_attr.name]
+        head = rng.choices(head_values, weights=head_weights, k=1)[0]
+        attributes = {head_attr.name: head}
+        for attr in schema.attributes:
+            if attr.name == head_attr.name or not attr.applicable(head):
+                continue
+            values, weights = value_choices[attr.name]
+            attributes[attr.name] = rng.choices(values, weights=weights, k=1)[0]
+        title = _make_title(schema, attributes, rng)
+        products.append(
+            Product(
+                pid=f"{schema.domain[:2].upper()}{i:07d}",
+                domain=schema.domain,
+                attributes=attributes,
+                title=title,
+            )
+        )
+    return products
+
+
+def titles_of(products: list[Product]) -> dict[str, str]:
+    """``pid -> title`` mapping (the IC-S baseline's input)."""
+    return {p.pid: p.title for p in products}
+
+
+def matching_products(
+    products: list[Product], criteria: dict[str, str]
+) -> list[Product]:
+    """Products whose attributes satisfy all the given equalities.
+
+    This is the *ground-truth* result of an attribute query, used to
+    study how search-engine noise propagates into the input sets.
+    """
+    return [
+        p
+        for p in products
+        if all(p.attributes.get(k) == v for k, v in criteria.items())
+    ]

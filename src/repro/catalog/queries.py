@@ -1,0 +1,189 @@
+"""Synthetic search-query logs.
+
+Queries are attribute-value conjunctions ("black adidas shirt") with
+Zipf-distributed daily frequencies over a 90-day window (the paper's
+reconstruction period), plus a configurable fraction of incoherent
+noise queries and optional *trend events* — queries whose demand spikes
+late in the window (the paper's Kobe-memorabilia scenario).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.catalog.attributes import DomainSchema
+from repro.utils.rng import make_rng
+
+
+@dataclass(frozen=True)
+class RawQuery:
+    """One query string with its per-day submission counts."""
+
+    text: str
+    daily_counts: tuple[int, ...]
+    coherent: bool = True
+
+    @property
+    def total(self) -> int:
+        return sum(self.daily_counts)
+
+    @property
+    def mean_daily(self) -> float:
+        if not self.daily_counts:
+            return 0.0
+        return self.total / len(self.daily_counts)
+
+    def min_daily(self) -> int:
+        return min(self.daily_counts) if self.daily_counts else 0
+
+
+@dataclass(frozen=True)
+class TrendEvent:
+    """A late-window demand spike for one query."""
+
+    text: str
+    start_day: int
+    magnitude: int
+
+
+@dataclass
+class QueryLog:
+    """A full window of raw queries."""
+
+    queries: list[RawQuery]
+    days: int = 90
+    trend_events: list[TrendEvent] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def recent_weighted(self, window: int) -> dict[str, float]:
+        """Mean daily count over only the last ``window`` days.
+
+        Platforms capitalize on short-lived trends by skewing the input
+        towards recent periods (paper Section 5.1).
+        """
+        return {
+            q.text: sum(q.daily_counts[-window:]) / window
+            for q in self.queries
+        }
+
+
+_JUNK_TOKENS = (
+    "asdf", "zzz", "fhqwhgads", "free", "cheap", "stuff", "best",
+    "thing", "xyz", "random", "item", "lot",
+)
+
+
+def _conjunction_query(
+    schema: DomainSchema, rng: random.Random
+) -> str:
+    """Sample an attribute conjunction, ordered adjective-first.
+
+    The product type is drawn first; modifiers come only from attributes
+    applicable to it (no "long sleeve shoes" queries).
+    """
+    head_attr = schema.attribute(schema.head_attribute)
+    head = rng.choices(
+        list(head_attr.values), weights=head_attr.weights(), k=1
+    )[0]
+    modifiers = [
+        attr
+        for attr in schema.attributes
+        if attr.name != head_attr.name and attr.applicable(head)
+    ]
+    n_modifiers = rng.choices((0, 1, 2), weights=(2, 6, 2), k=1)[0]
+    picked = rng.sample(modifiers, k=min(n_modifiers, len(modifiers)))
+    words = [
+        rng.choices(list(attr.values), weights=attr.weights(), k=1)[0]
+        for attr in picked
+    ]
+    words.append(head)
+    return " ".join(words)
+
+
+def _daily_counts(
+    base: float, days: int, rng: random.Random
+) -> tuple[int, ...]:
+    """Noisy-but-steady demand around a base daily rate (always >= 1)."""
+    counts = []
+    for _ in range(days):
+        noisy = base * (0.7 + 0.6 * rng.random())
+        counts.append(max(1, round(noisy)))
+    return tuple(counts)
+
+
+def generate_query_log(
+    schema: DomainSchema,
+    n_queries: int,
+    days: int = 90,
+    seed: int = 0,
+    noise_fraction: float = 0.05,
+    rare_fraction: float = 0.1,
+    synonym_fraction: float = 0.25,
+    trend_queries: list[str] | None = None,
+) -> QueryLog:
+    """Sample a deduplicated query log.
+
+    ``noise_fraction`` of the queries are incoherent token soup;
+    ``rare_fraction`` are sporadic (days with zero submissions, so the
+    consecutive-frequency cleaning step drops them);
+    ``synonym_fraction`` are near-synonym variants of earlier queries
+    (the redundancy the paper's merging step removes — it more than
+    halved the XYZ query counts); trend queries get a spike over the
+    final two weeks of the window.
+    """
+    rng = make_rng(seed)
+    texts: dict[str, RawQuery] = {}
+    attempts = 0
+    while len(texts) < n_queries and attempts < n_queries * 30:
+        attempts += 1
+        roll = rng.random()
+        coherent = True
+        if roll < noise_fraction:
+            text = " ".join(
+                rng.sample(_JUNK_TOKENS, k=rng.randrange(2, 4))
+            )
+            coherent = False
+        elif roll < noise_fraction + synonym_fraction and texts:
+            # A near-synonym of an existing query: reordered words or a
+            # pluralized head ("black shirt" vs "shirt black" /
+            # "black shirts"). Result sets are (near-)identical, which is
+            # what makes the paper's query-merging step worthwhile.
+            base = rng.choice(
+                [q.text for q in texts.values() if q.coherent] or ["item"]
+            )
+            words = base.split()
+            if len(words) > 1 and rng.random() < 0.5:
+                rng.shuffle(words)
+                text = " ".join(words)
+            else:
+                text = " ".join(words[:-1] + [words[-1] + "s"])
+        else:
+            text = _conjunction_query(schema, rng)
+        if text in texts:
+            continue
+        # Zipf-like popularity by arrival rank.
+        base = 30.0 / (1 + len(texts)) ** 0.35 + 2.0
+        counts = list(_daily_counts(base, days, rng))
+        if rng.random() < rare_fraction:
+            # Sporadic demand: silent on a random fifth of the days.
+            for day in rng.sample(range(days), k=max(1, days // 5)):
+                counts[day] = 0
+        texts[text] = RawQuery(
+            text=text, daily_counts=tuple(counts), coherent=coherent
+        )
+
+    events = []
+    for text in trend_queries or []:
+        start = max(0, days - 14)
+        magnitude = 40 + rng.randrange(20)
+        counts = [0] * days
+        for day in range(start, days):
+            counts[day] = magnitude + rng.randrange(10)
+        texts[text] = RawQuery(text=text, daily_counts=tuple(counts))
+        events.append(
+            TrendEvent(text=text, start_day=start, magnitude=magnitude)
+        )
+    return QueryLog(queries=list(texts.values()), days=days, trend_events=events)

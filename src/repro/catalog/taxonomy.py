@@ -1,0 +1,87 @@
+"""Existing-tree generation: a simulated taxonomist-built category tree.
+
+Real platforms partition the catalog along a fixed attribute order
+(type, then brand, then color, ...), the categorization the paper's ET
+baseline represents. Categories carry human-readable labels so they can
+also serve as weighted input sets for the conservative-update and
+Table 1 experiments.
+"""
+
+from __future__ import annotations
+
+from repro.catalog.products import Product
+from repro.core.input_sets import InputSet
+from repro.core.tree import Category, CategoryTree
+
+
+def build_existing_tree(
+    products: list[Product],
+    attribute_order: list[str],
+    min_size: int = 8,
+) -> CategoryTree:
+    """Recursively partition products by attribute values.
+
+    A group stops splitting when it is smaller than ``min_size`` or the
+    attribute order is exhausted; its items form a leaf category.
+    """
+    tree = CategoryTree()
+
+    def split(group: list[Product], parent: Category, depth: int) -> None:
+        if depth >= len(attribute_order) or len(group) < min_size:
+            for product in group:
+                tree.assign_item(parent, product.pid)
+            return
+        by_value: dict[str, list[Product]] = {}
+        for product in group:
+            by_value.setdefault(
+                product.attributes[attribute_order[depth]], []
+            ).append(product)
+        if len(by_value) == 1:
+            # A degenerate level adds no information; skip it.
+            split(group, parent, depth + 1)
+            return
+        for value in sorted(by_value):
+            members = by_value[value]
+            if len(members) < min_size:
+                # Too small for a category of its own at this level.
+                for product in members:
+                    tree.assign_item(parent, product.pid)
+                continue
+            label = value if parent.is_root else f"{parent.label} / {value}"
+            child = tree.add_category((), parent=parent, label=label)
+            split(members, child, depth + 1)
+
+    split(products, tree.root, 0)
+    return tree
+
+
+def tree_categories_as_input_sets(
+    tree: CategoryTree,
+    start_sid: int = 0,
+    weight: float = 1.0,
+    threshold: float | None = None,
+    source: str = "existing",
+) -> list[InputSet]:
+    """Non-root, non-empty categories as candidate input sets.
+
+    The paper's conservative-update workflow adds the existing tree's
+    categories to the input, with weights modulating how strongly the
+    current categorization is preserved.
+    """
+    sets = []
+    sid = start_sid
+    for cat in tree.non_root_categories():
+        if not cat.items:
+            continue
+        sets.append(
+            InputSet(
+                sid=sid,
+                items=frozenset(cat.items),
+                weight=weight,
+                threshold=threshold,
+                label=cat.label or f"category-{cat.cid}",
+                source=source,
+            )
+        )
+        sid += 1
+    return sets

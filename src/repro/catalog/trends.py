@@ -1,0 +1,83 @@
+"""Trend detection over query logs (paper Sections 5.1 and 5.4).
+
+Platforms capitalize on short-lived trends (the paper's Kobe-memorabilia
+spike) by skewing the input towards recent periods. This module detects
+which queries are actually trending — recent demand far above their
+historical baseline — so the recency window isn't applied blindly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.catalog.queries import QueryLog, RawQuery
+
+
+@dataclass(frozen=True)
+class Trend:
+    """One detected demand spike."""
+
+    text: str
+    recent_daily: float
+    baseline_daily: float
+    lift: float  # recent / max(baseline, eps)
+
+
+def detect_trending_queries(
+    log: QueryLog,
+    window: int = 14,
+    min_lift: float = 3.0,
+    min_recent_daily: float = 5.0,
+) -> list[Trend]:
+    """Queries whose recent demand is a multiple of their baseline.
+
+    ``window`` is the recent period (days); the baseline is the mean
+    daily count over everything before it. New queries (zero baseline)
+    qualify through ``min_recent_daily`` alone. Strongest lifts first.
+    """
+    if window <= 0 or window >= log.days:
+        raise ValueError(f"window must be in (0, {log.days}), got {window}")
+    trends = []
+    for q in log.queries:
+        recent = sum(q.daily_counts[-window:]) / window
+        history = q.daily_counts[:-window]
+        baseline = sum(history) / len(history) if history else 0.0
+        if recent < min_recent_daily:
+            continue
+        lift = recent / baseline if baseline > 0 else float("inf")
+        if lift >= min_lift:
+            trends.append(
+                Trend(
+                    text=q.text,
+                    recent_daily=recent,
+                    baseline_daily=baseline,
+                    lift=lift,
+                )
+            )
+    trends.sort(key=lambda t: (-t.lift, -t.recent_daily, t.text))
+    return trends
+
+
+def fading_queries(
+    log: QueryLog,
+    window: int = 14,
+    max_ratio: float = 0.3,
+    min_baseline_daily: float = 5.0,
+) -> list[RawQuery]:
+    """Queries whose demand collapsed recently (e.g. post-World-Cup).
+
+    The paper's taxonomists keep such categories alive by raising their
+    weights manually; surfacing them is the automatic half of that
+    workflow.
+    """
+    if window <= 0 or window >= log.days:
+        raise ValueError(f"window must be in (0, {log.days}), got {window}")
+    fading = []
+    for q in log.queries:
+        recent = sum(q.daily_counts[-window:]) / window
+        history = q.daily_counts[:-window]
+        baseline = sum(history) / len(history) if history else 0.0
+        if baseline >= min_baseline_daily and recent <= max_ratio * baseline:
+            fading.append(q)
+    fading.sort(key=lambda q: q.text)
+    return fading

@@ -1,0 +1,260 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``build``     — build a tree for a synthetic dataset (or an instance
+                  JSON) with a chosen algorithm/variant; optionally save
+                  the tree as JSON.
+* ``evaluate``  — score a saved tree against an instance.
+* ``compare``   — run all five algorithms and print the score table.
+* ``sweep``     — CTCR threshold sweep for one variant family.
+* ``preprocess`` — run the Section 5.1 pipeline on a synthetic dataset
+                  and export the resulting OCT instance as JSON.
+* ``trends``    — report trending and fading queries in a dataset's log.
+
+Variants are spelled ``threshold-jaccard:0.8``, ``cutoff-f1:0.7``,
+``perfect-recall:0.6``, or ``exact``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.algorithms import CCT, CTCR
+from repro.algorithms.base import TreeBuilder
+from repro.baselines import ExistingTree, ICQ, ICS
+from repro.catalog import DATASET_SPECS, load_dataset
+from repro.core import Variant, score_tree
+from repro.evaluation import (
+    delta_range,
+    format_table,
+    run_comparison,
+    threshold_sweep,
+)
+from repro.catalog.trends import detect_trending_queries, fading_queries
+from repro.io import dump_instance, dump_tree, load_instance, load_tree
+from repro.pipeline import preprocess
+
+
+def parse_variant(spec: str) -> Variant:
+    """Parse ``kind:delta`` variant specs (``exact`` has no delta)."""
+    if spec == "exact":
+        return Variant.exact()
+    try:
+        name, raw_delta = spec.split(":")
+        delta = float(raw_delta)
+    except ValueError as exc:
+        raise SystemExit(
+            f"bad variant {spec!r}; expected e.g. threshold-jaccard:0.8"
+        ) from exc
+    constructors = {
+        "threshold-jaccard": Variant.threshold_jaccard,
+        "cutoff-jaccard": Variant.cutoff_jaccard,
+        "threshold-f1": Variant.threshold_f1,
+        "cutoff-f1": Variant.cutoff_f1,
+        "perfect-recall": Variant.perfect_recall,
+    }
+    if name not in constructors:
+        raise SystemExit(
+            f"unknown variant kind {name!r}; one of {sorted(constructors)}"
+        )
+    return constructors[name](delta)
+
+
+def _load(args) -> tuple:
+    """Resolve (instance, dataset-or-None) from CLI arguments."""
+    variant = parse_variant(args.variant)
+    if args.instance:
+        return load_instance(args.instance), None, variant
+    dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    instance, _report = preprocess(dataset, variant)
+    return instance, dataset, variant
+
+
+def _builder(name: str, dataset) -> TreeBuilder:
+    if name == "ctcr":
+        return CTCR()
+    if name == "cct":
+        return CCT()
+    if dataset is None:
+        raise SystemExit(f"algorithm {name!r} needs a synthetic dataset")
+    if name == "ic-s":
+        return ICS(dataset.titles)
+    if name == "ic-q":
+        return ICQ()
+    if name == "et":
+        return ExistingTree(dataset.existing_tree)
+    raise SystemExit(f"unknown algorithm {name!r}")
+
+
+def cmd_build(args) -> int:
+    instance, dataset, variant = _load(args)
+    builder = _builder(args.algorithm, dataset)
+    tree = builder.build(instance, variant)
+    tree.validate(universe=instance.universe, bound=instance.bound)
+    report = score_tree(tree, instance, variant)
+    print(
+        f"{builder.name}: score={report.normalized:.4f} "
+        f"covered={report.covered_count}/{len(instance)} "
+        f"categories={len(tree)}"
+    )
+    if args.output:
+        dump_tree(tree, args.output)
+        print(f"tree written to {args.output}")
+    if args.show:
+        print(tree.to_text())
+    return 0
+
+
+def cmd_evaluate(args) -> int:
+    instance, _dataset, variant = _load(args)
+    tree = load_tree(args.tree)
+    report = score_tree(tree, instance, variant)
+    print(
+        f"score={report.normalized:.4f} "
+        f"covered={report.covered_count}/{len(instance)}"
+    )
+    return 0
+
+
+def cmd_compare(args) -> int:
+    instance, dataset, variant = _load(args)
+    names = ["ctcr", "cct", "ic-q", "ic-s", "et"] if dataset else ["ctcr", "cct"]
+    builders = [_builder(n, dataset) for n in names]
+    rows = run_comparison(builders, instance, variant)
+    print(
+        format_table(
+            ["algorithm", "score", "covered", "categories", "seconds"],
+            [
+                [r.name, r.normalized_score, r.covered_count,
+                 r.num_categories, round(r.seconds, 2)]
+                for r in rows
+            ],
+        )
+    )
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    instance, _dataset, variant = _load(args)
+    deltas = delta_range(args.start, args.stop, args.step)
+    points = threshold_sweep(CTCR(), instance, variant, deltas)
+    print(
+        format_table(
+            ["delta", "score", "covered"],
+            [[p.delta, p.normalized_score, p.covered_count] for p in points],
+        )
+    )
+    return 0
+
+
+def cmd_preprocess(args) -> int:
+    variant = parse_variant(args.variant)
+    dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    instance, report = preprocess(dataset, variant)
+    print(
+        f"{report.raw_queries} raw -> {report.after_cleaning} cleaned -> "
+        f"{report.after_merging} candidate sets "
+        f"(relevance threshold {report.relevance_threshold})"
+    )
+    dump_instance(instance, args.output)
+    print(f"instance written to {args.output}")
+    return 0
+
+
+def cmd_trends(args) -> int:
+    dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    trending = detect_trending_queries(dataset.query_log, window=args.window)
+    fading = fading_queries(dataset.query_log, window=args.window)
+    print(f"trending queries (last {args.window} days):")
+    for t in trending[:10]:
+        lift = "new" if t.lift == float("inf") else f"{t.lift:.1f}x"
+        print(f"  {t.text!r}: {t.recent_daily:.1f}/day ({lift})")
+    if not trending:
+        print("  (none)")
+    print("fading queries:")
+    for q in fading[:10]:
+        print(f"  {q.text!r}")
+    if not fading:
+        print("  (none)")
+    return 0
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Automated category-tree construction (SIGMOD'22 repro)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--dataset",
+            choices=sorted(DATASET_SPECS),
+            default="A",
+            help="synthetic dataset to generate (default: A)",
+        )
+        p.add_argument(
+            "--instance",
+            help="path to an instance JSON (overrides --dataset)",
+        )
+        p.add_argument("--scale", type=float, default=None,
+                       help="scale relative to paper size (default: repro)")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument(
+            "--variant",
+            default="threshold-jaccard:0.8",
+            help="e.g. threshold-jaccard:0.8, perfect-recall:0.6, exact",
+        )
+
+    p_build = sub.add_parser("build", help="build one tree")
+    add_common(p_build)
+    p_build.add_argument(
+        "--algorithm",
+        choices=["ctcr", "cct", "ic-s", "ic-q", "et"],
+        default="ctcr",
+    )
+    p_build.add_argument("--output", help="write the tree JSON here")
+    p_build.add_argument("--show", action="store_true",
+                         help="print the tree structure")
+    p_build.set_defaults(func=cmd_build)
+
+    p_eval = sub.add_parser("evaluate", help="score a saved tree")
+    add_common(p_eval)
+    p_eval.add_argument("--tree", required=True, help="tree JSON path")
+    p_eval.set_defaults(func=cmd_evaluate)
+
+    p_cmp = sub.add_parser("compare", help="run all algorithms")
+    add_common(p_cmp)
+    p_cmp.set_defaults(func=cmd_compare)
+
+    p_sweep = sub.add_parser("sweep", help="CTCR threshold sweep")
+    add_common(p_sweep)
+    p_sweep.add_argument("--start", type=float, default=0.5)
+    p_sweep.add_argument("--stop", type=float, default=1.0)
+    p_sweep.add_argument("--step", type=float, default=0.1)
+    p_sweep.set_defaults(func=cmd_sweep)
+
+    p_prep = sub.add_parser(
+        "preprocess", help="export a preprocessed instance JSON"
+    )
+    add_common(p_prep)
+    p_prep.add_argument("--output", required=True, help="instance JSON path")
+    p_prep.set_defaults(func=cmd_preprocess)
+
+    p_trends = sub.add_parser("trends", help="trending/fading queries")
+    add_common(p_trends)
+    p_trends.add_argument("--window", type=int, default=14)
+    p_trends.set_defaults(func=cmd_trends)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = make_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

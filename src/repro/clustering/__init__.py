@@ -1,0 +1,18 @@
+"""Hierarchical agglomerative clustering and dendrograms."""
+
+from repro.clustering.agglomerative import agglomerative_clustering
+from repro.clustering.dendrogram import Dendrogram, Merge
+from repro.clustering.distance import (
+    distance_matrix,
+    pairwise_cosine,
+    pairwise_euclidean,
+)
+
+__all__ = [
+    "Dendrogram",
+    "Merge",
+    "agglomerative_clustering",
+    "distance_matrix",
+    "pairwise_cosine",
+    "pairwise_euclidean",
+]

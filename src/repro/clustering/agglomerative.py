@@ -1,0 +1,121 @@
+"""Agglomerative (hierarchical) clustering with Lance–Williams updates.
+
+CCT (paper Section 4) merges the two closest clusters repeatedly,
+measuring inter-cluster distance as the average of all pairwise
+distances (UPGMA / average linkage); single and complete linkage are
+provided for experimentation. The implementation maintains a dense
+distance matrix with cached per-row minima, giving the expected
+O(n^2) behaviour on the instance sizes the library targets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.clustering.dendrogram import Dendrogram, Merge
+from repro.clustering.distance import distance_matrix
+
+_LINKAGES = ("average", "single", "complete")
+
+
+def _lance_williams(
+    linkage: str,
+    d_ki: np.ndarray,
+    d_kj: np.ndarray,
+    size_i: int,
+    size_j: int,
+) -> np.ndarray:
+    """Distance from every cluster k to the merge of clusters i and j."""
+    if linkage == "average":
+        total = size_i + size_j
+        return (size_i * d_ki + size_j * d_kj) / total
+    if linkage == "single":
+        return np.minimum(d_ki, d_kj)
+    return np.maximum(d_ki, d_kj)  # complete
+
+
+def agglomerative_clustering(
+    vectors: np.ndarray,
+    linkage: str = "average",
+    metric: str = "euclidean",
+    precomputed: np.ndarray | None = None,
+) -> Dendrogram:
+    """Cluster row vectors into a dendrogram.
+
+    Pass ``precomputed`` to supply a ready distance matrix (``metric`` is
+    then ignored). Ties in the minimum distance break towards the
+    lowest-index pair, keeping results deterministic.
+    """
+    if linkage not in _LINKAGES:
+        raise ValueError(f"linkage must be one of {_LINKAGES}, got {linkage!r}")
+    if precomputed is not None:
+        dist = np.array(precomputed, dtype=np.float64)
+        if dist.ndim != 2 or dist.shape[0] != dist.shape[1]:
+            raise ValueError("precomputed distance matrix must be square")
+    else:
+        x = np.asarray(vectors, dtype=np.float64)
+        if x.ndim != 2:
+            raise ValueError("vectors must be a 2-D array")
+        dist = distance_matrix(x, metric)
+    n = dist.shape[0]
+    if n == 0:
+        raise ValueError("cannot cluster zero observations")
+    if n == 1:
+        return Dendrogram(n_leaves=1, merges=[])
+
+    inf = np.inf
+    work = dist.copy()
+    np.fill_diagonal(work, inf)
+    active = np.ones(n, dtype=bool)
+    sizes = np.ones(n, dtype=np.int64)
+    node_of = np.arange(n)  # dendrogram node id currently held by each slot
+    row_min = work.min(axis=1)
+    row_arg = work.argmin(axis=1)
+
+    merges: list[Merge] = []
+    next_node = n
+    for _step in range(n - 1):
+        masked = np.where(active, row_min, inf)
+        i = int(masked.argmin())
+        j = int(row_arg[i])
+        if not active[j] or work[i, j] != row_min[i]:
+            # Stale cache: recompute this row properly.
+            row = np.where(active, work[i], inf)
+            row[i] = inf
+            row_min[i] = row.min()
+            row_arg[i] = int(row.argmin())
+            j = int(row_arg[i])
+        height = float(work[i, j])
+
+        left, right = sorted((node_of[i], node_of[j]))
+        merges.append(Merge(left=left, right=right, height=height, node_id=next_node))
+
+        # Merge j into slot i via Lance–Williams; retire slot j.
+        new_row = _lance_williams(linkage, work[i], work[j], int(sizes[i]), int(sizes[j]))
+        work[i, :] = new_row
+        work[:, i] = new_row
+        work[i, i] = inf
+        active[j] = False
+        work[j, :] = inf
+        work[:, j] = inf
+        sizes[i] += sizes[j]
+        node_of[i] = next_node
+        next_node += 1
+
+        # Refresh cached minima: row i fully, others only if stale.
+        row = np.where(active, work[i], inf)
+        row[i] = inf
+        row_min[i] = row.min()
+        row_arg[i] = int(row.argmin())
+        for k in np.nonzero(active)[0]:
+            if k == i:
+                continue
+            if row_arg[k] == j or row_arg[k] == i:
+                krow = np.where(active, work[k], inf)
+                krow[k] = inf
+                row_min[k] = krow.min()
+                row_arg[k] = int(krow.argmin())
+            elif work[k, i] < row_min[k]:
+                row_min[k] = work[k, i]
+                row_arg[k] = i
+    return Dendrogram(n_leaves=n, merges=merges)

@@ -1,0 +1,73 @@
+"""Dendrogram structure produced by agglomerative clustering.
+
+Leaves are numbered ``0..n-1`` (the input order); the ``t``-th merge
+creates internal node ``n + t``. The final merge's node is the root.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Merge:
+    """One agglomeration step joining two existing nodes."""
+
+    left: int
+    right: int
+    height: float
+    node_id: int
+
+
+@dataclass
+class Dendrogram:
+    """A full binary merge tree over ``n_leaves`` observations."""
+
+    n_leaves: int
+    merges: list[Merge]
+
+    def __post_init__(self) -> None:
+        if self.n_leaves >= 2 and len(self.merges) != self.n_leaves - 1:
+            raise ValueError(
+                f"{self.n_leaves} leaves require {self.n_leaves - 1} merges, "
+                f"got {len(self.merges)}"
+            )
+
+    @property
+    def root_id(self) -> int:
+        if self.n_leaves == 1:
+            return 0
+        return self.merges[-1].node_id
+
+    def children(self) -> dict[int, tuple[int, int]]:
+        """``node_id -> (left, right)`` for all internal nodes."""
+        return {m.node_id: (m.left, m.right) for m in self.merges}
+
+    def leaves_under(self, node_id: int) -> list[int]:
+        """Leaf indices in the subtree rooted at ``node_id``."""
+        child_map = self.children()
+        result: list[int] = []
+        stack = [node_id]
+        while stack:
+            node = stack.pop()
+            if node < self.n_leaves:
+                result.append(node)
+            else:
+                stack.extend(child_map[node])
+        return sorted(result)
+
+    def cut(self, height: float) -> list[list[int]]:
+        """Flat clustering: maximal subtrees merged at or below ``height``."""
+        child_map = self.children()
+        heights = {m.node_id: m.height for m in self.merges}
+        clusters: list[list[int]] = []
+        stack = [self.root_id]
+        while stack:
+            node = stack.pop()
+            if node < self.n_leaves:
+                clusters.append([node])
+            elif heights[node] <= height:
+                clusters.append(self.leaves_under(node))
+            else:
+                stack.extend(child_map[node])
+        return sorted(clusters)

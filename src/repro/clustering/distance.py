@@ -1,0 +1,57 @@
+"""Pairwise distance computations for clustering.
+
+The paper's CCT uses Euclidean distances over input-set embeddings (other
+metrics were examined and found inferior); cosine distance is provided
+for the IC-S baseline's title embeddings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def pairwise_euclidean(vectors: np.ndarray) -> np.ndarray:
+    """Dense symmetric Euclidean distance matrix.
+
+    Computed via the Gram-matrix identity with a clip guarding against
+    tiny negative values from floating-point cancellation.
+    """
+    x = np.asarray(vectors, dtype=np.float64)
+    squared = np.sum(x * x, axis=1)
+    gram = x @ x.T
+    d2 = squared[:, None] + squared[None, :] - 2.0 * gram
+    np.clip(d2, 0.0, None, out=d2)
+    dist = np.sqrt(d2)
+    np.fill_diagonal(dist, 0.0)
+    return dist
+
+
+def pairwise_cosine(vectors: np.ndarray) -> np.ndarray:
+    """Dense cosine *distance* matrix (1 - cosine similarity).
+
+    Zero vectors are treated as maximally distant from everything except
+    other zero vectors.
+    """
+    x = np.asarray(vectors, dtype=np.float64)
+    norms = np.linalg.norm(x, axis=1)
+    safe = np.where(norms > 0, norms, 1.0)
+    unit = x / safe[:, None]
+    sim = unit @ unit.T
+    np.clip(sim, -1.0, 1.0, out=sim)
+    zero = norms == 0
+    if zero.any():
+        sim[zero, :] = 0.0
+        sim[:, zero] = 0.0
+        sim[np.ix_(zero, zero)] = 1.0
+    dist = 1.0 - sim
+    np.fill_diagonal(dist, 0.0)
+    return dist
+
+
+def distance_matrix(vectors: np.ndarray, metric: str = "euclidean") -> np.ndarray:
+    """Dispatch on metric name ('euclidean' or 'cosine')."""
+    if metric == "euclidean":
+        return pairwise_euclidean(vectors)
+    if metric == "cosine":
+        return pairwise_cosine(vectors)
+    raise ValueError(f"unknown metric {metric!r}")

@@ -1,0 +1,48 @@
+"""Input-set ranking (paper Section 3.2, "Sorting the input sets").
+
+Sets are sorted from largest to smallest, breaking size ties by weight
+from lightest to heaviest (so that among equal-size sets the heavier one
+ranks lower and receives the deeper — and therefore more precise —
+category). ``rank`` 1 is the largest set. Remaining ties break on the
+set id, keeping the order deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.input_sets import InputSet, OCTInstance
+
+
+@dataclass(frozen=True)
+class Ranking:
+    """Bidirectional rank lookup over an instance's input sets."""
+
+    ordered: tuple[InputSet, ...]
+    rank_of: dict[int, int]
+
+    def __len__(self) -> int:
+        return len(self.ordered)
+
+    def rank(self, sid: int) -> int:
+        """Rank of a set (1 = largest)."""
+        return self.rank_of[sid]
+
+    def upper_lower(self, a: InputSet, b: InputSet) -> tuple[InputSet, InputSet]:
+        """Order a pair as (upper, lower): the upper set ranks first.
+
+        When two sets are covered together, the category of the upper
+        (lower-rank-number) set is placed above on the branch.
+        """
+        if self.rank_of[a.sid] < self.rank_of[b.sid]:
+            return a, b
+        return b, a
+
+
+def rank_sets(instance: OCTInstance) -> Ranking:
+    """Compute the CTCR ranking of an instance's input sets."""
+    ordered = tuple(
+        sorted(instance.sets, key=lambda q: (-len(q.items), q.weight, q.sid))
+    )
+    rank_of = {q.sid: i + 1 for i, q in enumerate(ordered)}
+    return Ranking(ordered=ordered, rank_of=rank_of)

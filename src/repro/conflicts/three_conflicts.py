@@ -1,0 +1,51 @@
+"""Enumeration of 3-conflicts (Algorithm 1, line 6; paper Section 3.2).
+
+A triplet ``{q1, q2, q3}`` is a 3-conflict when ``{q1,q2}`` and
+``{q2,q3}`` must each be covered together, ``q2`` is *not* the
+lowest-ranked (largest) of the three — otherwise its category would
+simply be an ancestor of both others' — and ``{q1,q3}`` is not itself a
+must-together pair. If ``{q1,q3}`` is already a 2-conflict the triplet is
+redundant and skipped: the 2-conflict alone forbids the co-selection.
+
+Resolving 3-conflicts guarantees that any two categories placed on the
+same branch correspond to sets that must be covered together, mirroring
+the structural property the Exact variant enjoys by definition.
+"""
+
+from __future__ import annotations
+
+from repro.conflicts.two_conflicts import PairwiseAnalysis
+
+Triple = tuple[int, int, int]
+
+
+def compute_three_conflicts(analysis: PairwiseAnalysis) -> set[Triple]:
+    """All 3-conflicts implied by the must-together relation.
+
+    Returned triples are sorted by rank (best-ranked first) so each
+    conflict has one canonical representation.
+    """
+    ranking = analysis.ranking
+    adjacency = analysis.must_neighbors()
+    conflicts: set[Triple] = set()
+    for middle, neighbors in adjacency.items():
+        if len(neighbors) < 2:
+            continue
+        ordered = sorted(neighbors, key=lambda sid: ranking.rank_of[sid])
+        for i, first in enumerate(ordered):
+            for third in ordered[i + 1 :]:
+                # middle must not be the lowest-ranked (largest) of the three
+                if ranking.rank_of[middle] < ranking.rank_of[first]:
+                    continue
+                if analysis.is_must_together(first, third):
+                    continue
+                if analysis.is_conflict(first, third):
+                    continue
+                triple = tuple(
+                    sorted(
+                        (first, middle, third),
+                        key=lambda sid: ranking.rank_of[sid],
+                    )
+                )
+                conflicts.add(triple)  # type: ignore[arg-type]
+    return conflicts

@@ -1,0 +1,171 @@
+"""Enumeration of 2-conflicts and must-together pairs (Algorithm 1, lines 2-5).
+
+Only intersecting pairs need examining: disjoint sets can always be
+covered separately, so they are never conflicts and never must-together.
+Intersecting pairs are enumerated through an item -> sets inverted index,
+which keeps the cost proportional to the number of actually-overlapping
+pairs — the sparsity the paper relies on.
+
+The per-pair classification is embarrassingly parallel; pass ``n_jobs``
+to fan it out over a process pool (the paper's implementation computes
+all 2-conflicts in parallel).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.conflicts.pairwise import can_cover_separately, can_cover_together
+from repro.conflicts.ranking import Ranking, rank_sets
+from repro.core.input_sets import InputSet, OCTInstance
+from repro.core.variants import Variant
+from repro.utils.parallel import parallel_map
+
+Pair = tuple[int, int]  # (upper sid, lower sid) — upper ranks first
+
+
+@dataclass
+class PairwiseAnalysis:
+    """Classification of every intersecting pair of input sets.
+
+    ``conflicts`` holds 2-conflicts; ``must_together`` the pairs that can
+    only be covered on one branch; ``can_separately`` the intersecting
+    pairs for which separate branches are feasible (disjoint pairs are
+    implicitly separable and not listed). All pairs are keyed as
+    ``(upper_sid, lower_sid)`` in ranking order.
+    """
+
+    ranking: Ranking
+    conflicts: set[Pair] = field(default_factory=set)
+    must_together: set[Pair] = field(default_factory=set)
+    can_separately: set[Pair] = field(default_factory=set)
+    intersections: dict[Pair, int] = field(default_factory=dict)
+
+    def key(self, a: int, b: int) -> Pair:
+        """Canonical (upper, lower) key for a set-id pair."""
+        if self.ranking.rank_of[a] < self.ranking.rank_of[b]:
+            return (a, b)
+        return (b, a)
+
+    def is_conflict(self, a: int, b: int) -> bool:
+        return self.key(a, b) in self.conflicts
+
+    def is_must_together(self, a: int, b: int) -> bool:
+        return self.key(a, b) in self.must_together
+
+    def must_neighbors(self) -> dict[int, set[int]]:
+        """Adjacency view of the must-together relation."""
+        adj: dict[int, set[int]] = {}
+        for upper, lower in self.must_together:
+            adj.setdefault(upper, set()).add(lower)
+            adj.setdefault(lower, set()).add(upper)
+        return adj
+
+
+def _intersection_counts(
+    instance: OCTInstance,
+) -> dict[tuple[int, int], list[int]]:
+    """``{(sid_a, sid_b): [shared, shared_with_bound_1]}`` for sid_a < sid_b."""
+    counts: dict[tuple[int, int], list[int]] = {}
+    for item, sets in instance.sets_containing().items():
+        if len(sets) < 2:
+            continue
+        bound_one = instance.bound(item) == 1
+        sids = sorted(q.sid for q in sets)
+        for i, a in enumerate(sids):
+            for b in sids[i + 1 :]:
+                entry = counts.get((a, b))
+                if entry is None:
+                    entry = counts[(a, b)] = [0, 0]
+                entry[0] += 1
+                if bound_one:
+                    entry[1] += 1
+    return counts
+
+
+@dataclass(frozen=True)
+class _PairJob:
+    """Picklable classification job for one intersecting pair."""
+
+    upper_sid: int
+    lower_sid: int
+    shared: int
+    shared_bound1: int
+
+
+def _classify_pair(
+    variant: Variant,
+    upper: InputSet,
+    lower: InputSet,
+    delta_upper: float,
+    delta_lower: float,
+    job: _PairJob,
+) -> tuple[bool, bool]:
+    """(can_separately, can_together) for one pair."""
+    separately = can_cover_separately(
+        variant, upper, lower, delta_upper, delta_lower,
+        shared_bound1=job.shared_bound1,
+    )
+    together = can_cover_together(
+        variant, upper, lower, delta_upper, delta_lower,
+        intersection=job.shared,
+    )
+    return separately, together
+
+
+# Module-level state for process-pool workers: ProcessPoolExecutor forks
+# (or pickles) this module, so workers read the snapshot installed by
+# _install_worker_state before the pool starts.
+_WORKER_STATE: dict = {}
+
+
+def _install_worker_state(
+    variant: Variant, instance: OCTInstance, ranking: Ranking
+) -> None:
+    _WORKER_STATE["variant"] = variant
+    _WORKER_STATE["instance"] = instance
+    _WORKER_STATE["ranking"] = ranking
+
+
+def _classify_chunk(jobs: list[_PairJob]) -> list[tuple[bool, bool]]:
+    variant: Variant = _WORKER_STATE["variant"]
+    instance: OCTInstance = _WORKER_STATE["instance"]
+    results = []
+    for job in jobs:
+        upper = instance.get(job.upper_sid)
+        lower = instance.get(job.lower_sid)
+        delta_upper = instance.effective_threshold(upper, variant.delta)
+        delta_lower = instance.effective_threshold(lower, variant.delta)
+        results.append(
+            _classify_pair(variant, upper, lower, delta_upper, delta_lower, job)
+        )
+    return results
+
+
+def compute_pairwise(
+    instance: OCTInstance,
+    variant: Variant,
+    ranking: Ranking | None = None,
+    n_jobs: int = 1,
+) -> PairwiseAnalysis:
+    """Classify all intersecting pairs of an instance under a variant."""
+    ranking = ranking or rank_sets(instance)
+    analysis = PairwiseAnalysis(ranking=ranking)
+    jobs: list[_PairJob] = []
+    for (a, b), (shared, shared_b1) in _intersection_counts(instance).items():
+        upper_sid, lower_sid = analysis.key(a, b)
+        jobs.append(_PairJob(upper_sid, lower_sid, shared, shared_b1))
+
+    _install_worker_state(variant, instance, ranking)
+    outcomes = parallel_map(_classify_chunk, jobs, n_jobs=n_jobs)
+
+    for job, (separately, together) in zip(jobs, outcomes):
+        pair = (job.upper_sid, job.lower_sid)
+        analysis.intersections[pair] = job.shared
+        if separately:
+            analysis.can_separately.add(pair)
+        if together and not separately:
+            analysis.must_together.add(pair)
+        if not separately and not together:
+            analysis.conflicts.add(pair)
+    return analysis

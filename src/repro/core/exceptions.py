@@ -1,0 +1,21 @@
+"""Exception types used across the library."""
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class InvalidTreeError(ReproError):
+    """Raised when a category tree violates a validity requirement."""
+
+
+class InvalidInstanceError(ReproError):
+    """Raised when an OCT instance is malformed (e.g. bad weights)."""
+
+
+class InvalidVariantError(ReproError):
+    """Raised when a similarity-variant specification is malformed."""
+
+
+class SolverError(ReproError):
+    """Raised when an optimization subroutine fails or is misconfigured."""

@@ -1,0 +1,125 @@
+"""Set-similarity functions and variant scoring (paper Section 2.2).
+
+All functions accept plain ``set``/``frozenset`` arguments. Size-based
+forms (suffixed ``_from_sizes``) are provided for hot paths where the
+caller already knows ``|q|``, ``|C|``, and ``|q ∩ C|``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Set as AbstractSet
+
+from repro.core.variants import ScoreMode, SimilarityKind, Variant
+
+ItemSet = AbstractSet
+
+
+def jaccard(a: ItemSet, b: ItemSet) -> float:
+    """Jaccard index ``|a ∩ b| / |a ∪ b|``; two empty sets score 1."""
+    if not a and not b:
+        return 1.0
+    inter = len(a & b)
+    return inter / (len(a) + len(b) - inter)
+
+
+def precision(q: ItemSet, c: ItemSet) -> float:
+    """Fraction of the category's items that belong to the input set."""
+    if not c:
+        return 0.0
+    return len(q & c) / len(c)
+
+
+def recall(q: ItemSet, c: ItemSet) -> float:
+    """Fraction of the input set's items captured by the category."""
+    if not q:
+        return 1.0
+    return len(q & c) / len(q)
+
+
+def f1(q: ItemSet, c: ItemSet) -> float:
+    """Harmonic mean of precision and recall."""
+    inter = len(q & c)
+    denom = len(q) + len(c)
+    if denom == 0:
+        return 1.0
+    return 2.0 * inter / denom
+
+
+def jaccard_from_sizes(q_size: int, c_size: int, inter: int) -> float:
+    if q_size == 0 and c_size == 0:
+        return 1.0
+    return inter / (q_size + c_size - inter)
+
+
+def f1_from_sizes(q_size: int, c_size: int, inter: int) -> float:
+    denom = q_size + c_size
+    if denom == 0:
+        return 1.0
+    return 2.0 * inter / denom
+
+
+def raw_similarity(kind: SimilarityKind, q: ItemSet, c: ItemSet) -> float:
+    """The unthresholded similarity a variant is built on.
+
+    For Perfect-Recall the paper's CCT embeddings use the average of
+    precision and recall, which is also the natural graded counterpart of
+    the binary PR function, so that is what we return here.
+    """
+    if kind is SimilarityKind.JACCARD:
+        return jaccard(q, c)
+    if kind is SimilarityKind.F1:
+        return f1(q, c)
+    return (precision(q, c) + recall(q, c)) / 2.0
+
+
+def raw_similarity_from_sizes(
+    kind: SimilarityKind, q_size: int, c_size: int, inter: int
+) -> float:
+    if kind is SimilarityKind.JACCARD:
+        return jaccard_from_sizes(q_size, c_size, inter)
+    if kind is SimilarityKind.F1:
+        return f1_from_sizes(q_size, c_size, inter)
+    prec = inter / c_size if c_size else 0.0
+    rec = inter / q_size if q_size else 1.0
+    return (prec + rec) / 2.0
+
+
+def variant_score_from_sizes(
+    variant: Variant, q_size: int, c_size: int, inter: int, delta: float
+) -> float:
+    """Score of a category of size ``c_size`` against a set of size ``q_size``.
+
+    ``delta`` is the effective threshold for this particular input set
+    (per-set thresholds override the variant default).
+    """
+    if variant.kind is SimilarityKind.PERFECT_RECALL:
+        if q_size == 0:
+            # An empty set is trivially recalled; only an empty category
+            # has nonzero precision against it.
+            return 1.0 if c_size == 0 else 0.0
+        if inter < q_size:  # recall below 1
+            return 0.0
+        prec = inter / c_size if c_size else 0.0
+        return 1.0 if prec >= delta - 1e-12 else 0.0
+
+    sim = raw_similarity_from_sizes(variant.kind, q_size, c_size, inter)
+    if sim < delta - 1e-12:
+        return 0.0
+    return 1.0 if variant.mode is ScoreMode.THRESHOLD else sim
+
+
+def variant_score(
+    variant: Variant, q: ItemSet, c: ItemSet, delta: float | None = None
+) -> float:
+    """Score of a category ``c`` against an input set ``q`` under a variant."""
+    effective = variant.delta if delta is None else delta
+    return variant_score_from_sizes(
+        variant, len(q), len(c), len(q & c), effective
+    )
+
+
+def covers(
+    variant: Variant, q: ItemSet, c: ItemSet, delta: float | None = None
+) -> bool:
+    """True when ``c`` covers ``q``: the similarity reaches the threshold."""
+    return variant_score(variant, q, c, delta) > 0.0

@@ -1,0 +1,306 @@
+"""Category trees (paper Section 2.1, "Solution space").
+
+A valid category tree is a rooted tree whose nodes carry item sets, where
+
+1. every non-leaf category contains the union of its children's items
+   (and possibly more), so categories shrink from root to leaves, and
+2. every item belongs to at most ``bound(item)`` branches: the categories
+   containing an item form at most that many root-to-node chains
+   (``bound = 1`` everywhere on most platforms).
+
+Trees are mutable during construction; :meth:`CategoryTree.validate`
+checks both requirements.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Iterable, Iterator
+
+from repro.core.exceptions import InvalidTreeError
+
+Item = Hashable
+
+
+class Category:
+    """One tree node: a named item set with parent/child links.
+
+    ``matched_sids`` records which input sets this category was built to
+    cover — the paper marks each category with its matched sets so their
+    query/category labels hint at a name.
+    """
+
+    __slots__ = ("cid", "items", "parent", "children", "label", "matched_sids")
+
+    def __init__(
+        self,
+        cid: int,
+        items: Iterable[Item] = (),
+        parent: "Category | None" = None,
+        label: str = "",
+    ) -> None:
+        self.cid = cid
+        self.items: set[Item] = set(items)
+        self.parent = parent
+        self.children: list["Category"] = []
+        self.label = label
+        self.matched_sids: list[int] = []
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        name = self.label or f"C{self.cid}"
+        return f"<Category {name}: {len(self.items)} items>"
+
+    @property
+    def is_root(self) -> bool:
+        return self.parent is None
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    @property
+    def depth(self) -> int:
+        """Number of edges from the root (root has depth 0)."""
+        depth = 0
+        node = self
+        while node.parent is not None:
+            node = node.parent
+            depth += 1
+        return depth
+
+    def ancestors(self) -> Iterator["Category"]:
+        """Strict ancestors, nearest first (ends at the root)."""
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def path_from_root(self) -> list["Category"]:
+        """Root-to-self path, inclusive."""
+        path = [self]
+        path.extend(self.ancestors())
+        path.reverse()
+        return path
+
+    def descendants(self) -> Iterator["Category"]:
+        """Strict descendants in pre-order."""
+        stack = list(self.children)
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(node.children)
+
+    def subtree(self) -> Iterator["Category"]:
+        """Self plus all descendants in pre-order."""
+        yield self
+        yield from self.descendants()
+
+    def leaves_below(self) -> list["Category"]:
+        """Leaf categories of this subtree (self if it is a leaf)."""
+        return [c for c in self.subtree() if c.is_leaf]
+
+
+class CategoryTree:
+    """A mutable rooted category tree with validity checking."""
+
+    def __init__(self, root_label: str = "root") -> None:
+        self._next_cid = 0
+        self.root = Category(self._take_cid(), label=root_label)
+
+    def _take_cid(self) -> int:
+        cid = self._next_cid
+        self._next_cid += 1
+        return cid
+
+    # -- construction ------------------------------------------------------
+
+    def add_category(
+        self,
+        items: Iterable[Item] = (),
+        parent: Category | None = None,
+        label: str = "",
+    ) -> Category:
+        """Create a category under ``parent`` (default: the root).
+
+        The new items are propagated to all ancestors so requirement (1)
+        keeps holding.
+        """
+        parent = parent if parent is not None else self.root
+        cat = Category(self._take_cid(), items, parent, label)
+        parent.children.append(cat)
+        self._propagate_up(parent, cat.items)
+        return cat
+
+    def insert_parent(
+        self, children: list[Category], label: str = ""
+    ) -> Category:
+        """Insert a new category as the parent of existing sibling nodes.
+
+        All ``children`` must currently share the same parent; the new
+        node takes their place and contains the union of their items.
+        This implements the paper's intermediate-category operation.
+        """
+        if not children:
+            raise InvalidTreeError("insert_parent needs at least one child")
+        parent = children[0].parent
+        if parent is None or any(c.parent is not parent for c in children):
+            raise InvalidTreeError(
+                "insert_parent requires siblings with a common parent"
+            )
+        union: set[Item] = set()
+        for child in children:
+            union |= child.items
+        node = Category(self._take_cid(), union, parent, label)
+        for child in children:
+            parent.children.remove(child)
+            child.parent = node
+            node.children.append(child)
+        parent.children.append(node)
+        return node
+
+    def remove_category(self, cat: Category) -> None:
+        """Remove a non-root category, splicing its children to its parent."""
+        if cat.is_root:
+            raise InvalidTreeError("cannot remove the root category")
+        parent = cat.parent
+        assert parent is not None
+        parent.children.remove(cat)
+        for child in cat.children:
+            child.parent = parent
+            parent.children.append(child)
+        cat.children = []
+        cat.parent = None
+
+    def assign_item(self, cat: Category, item: Item) -> None:
+        """Add an item to a category and to all its ancestors."""
+        cat.items.add(item)
+        self._propagate_up(cat.parent, (item,))
+
+    def remove_item(self, cat: Category, item: Item) -> None:
+        """Remove an item from a category and its whole subtree."""
+        for node in cat.subtree():
+            node.items.discard(item)
+
+    @staticmethod
+    def _propagate_up(start: Category | None, items: Iterable[Item]) -> None:
+        items = set(items)
+        node = start
+        while node is not None and not items <= node.items:
+            node.items |= items
+            node = node.parent
+
+    # -- traversal ----------------------------------------------------------
+
+    def categories(self) -> Iterator[Category]:
+        """All categories in pre-order, starting from the root."""
+        yield from self.root.subtree()
+
+    def non_root_categories(self) -> Iterator[Category]:
+        yield from self.root.descendants()
+
+    def leaves(self) -> list[Category]:
+        return self.root.leaves_below()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.categories())
+
+    def find(self, cid: int) -> Category:
+        for cat in self.categories():
+            if cat.cid == cid:
+                return cat
+        raise KeyError(f"no category with cid {cid}")
+
+    # -- analysis -----------------------------------------------------------
+
+    def minimal_categories(self, item: Item) -> list[Category]:
+        """The most-specific categories containing an item.
+
+        These are the categories containing the item none of whose
+        children contains it; their count is the number of branches the
+        item occupies, which requirement (2) bounds.
+        """
+        result = []
+        for cat in self.categories():
+            if item in cat.items and not any(
+                item in child.items for child in cat.children
+            ):
+                result.append(cat)
+        return result
+
+    def item_branch_counts(self) -> dict[Item, int]:
+        """Number of branches each item occupies (one pass over the tree)."""
+        counts: dict[Item, int] = {}
+        for cat in self.categories():
+            covered_by_children: set[Item] = set()
+            for child in cat.children:
+                covered_by_children |= child.items
+            for item in cat.items:
+                if item not in covered_by_children:
+                    counts[item] = counts.get(item, 0) + 1
+        return counts
+
+    def validate(
+        self,
+        universe: Iterable[Item] | None = None,
+        bound: Callable[[Item], int] | int = 1,
+    ) -> None:
+        """Raise :class:`InvalidTreeError` on any validity violation.
+
+        ``bound`` is either a uniform integer bound or a callable mapping
+        items to their per-item branch bound.
+        """
+        bound_fn = bound if callable(bound) else (lambda _item: bound)
+        for cat in self.categories():
+            for child in cat.children:
+                if not child.items <= cat.items:
+                    raise InvalidTreeError(
+                        f"category {cat.cid} misses items of child "
+                        f"{child.cid}: {sorted(map(repr, child.items - cat.items))[:5]}"
+                    )
+        for item, count in self.item_branch_counts().items():
+            limit = bound_fn(item)
+            if count > limit:
+                raise InvalidTreeError(
+                    f"item {item!r} occupies {count} branches, bound {limit}"
+                )
+        if universe is not None:
+            missing = set(universe) - self.root.items
+            if missing:
+                raise InvalidTreeError(
+                    f"root is missing {len(missing)} universe items"
+                )
+
+    def copy(self) -> "CategoryTree":
+        """Structure-preserving deep copy."""
+        clone = CategoryTree(root_label=self.root.label)
+        clone.root.items = set(self.root.items)
+        clone.root.matched_sids = list(self.root.matched_sids)
+        clone._next_cid = self._next_cid
+
+        def rec(src: Category, dst: Category) -> None:
+            for child in src.children:
+                mirrored = Category(child.cid, child.items, dst, child.label)
+                mirrored.matched_sids = list(child.matched_sids)
+                dst.children.append(mirrored)
+                rec(child, mirrored)
+
+        rec(self.root, clone.root)
+        return clone
+
+    def to_text(self, max_items: int = 8) -> str:
+        """Indented rendering for examples and debugging."""
+        lines: list[str] = []
+
+        def rec(cat: Category, indent: int) -> None:
+            shown = sorted(map(str, cat.items))
+            preview = ", ".join(shown[:max_items])
+            if len(shown) > max_items:
+                preview += ", …"
+            name = cat.label or f"C{cat.cid}"
+            lines.append(
+                f"{'  ' * indent}{name} ({len(cat.items)} items) [{preview}]"
+            )
+            for child in sorted(cat.children, key=lambda c: c.cid):
+                rec(child, indent + 1)
+
+        rec(self.root, 0)
+        return "\n".join(lines)

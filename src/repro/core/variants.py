@@ -1,0 +1,118 @@
+"""OCT problem variants: similarity kinds, score modes, and thresholds.
+
+The paper (Section 2.2) studies variations of the Jaccard index and the
+F1 score, each in a *cutoff* form (the raw similarity, rounded down to 0
+below the threshold ``delta``) and a *threshold* form (binary: 1 when the
+similarity reaches ``delta``), plus the binary *Perfect-Recall* function
+(1 when recall is 1 and precision is at least ``delta``). At ``delta = 1``
+every variant converges to the *Exact* variant, where only an identical
+category scores.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.exceptions import InvalidVariantError
+
+
+class SimilarityKind(enum.Enum):
+    """The base set-similarity measure a variant is built on."""
+
+    JACCARD = "jaccard"
+    F1 = "f1"
+    PERFECT_RECALL = "perfect_recall"
+
+
+class ScoreMode(enum.Enum):
+    """How a variant maps the raw similarity to a score.
+
+    ``CUTOFF`` keeps the raw similarity when it reaches the threshold;
+    ``THRESHOLD`` rounds it up to 1. Perfect-Recall is inherently binary
+    and always uses ``THRESHOLD``.
+    """
+
+    CUTOFF = "cutoff"
+    THRESHOLD = "threshold"
+
+
+@dataclass(frozen=True)
+class Variant:
+    """A fully-specified OCT variant: ``OCT(S)`` in the paper's notation.
+
+    ``delta`` is the default threshold; individual input sets may override
+    it (the paper's non-uniform-thresholds extension).
+    """
+
+    kind: SimilarityKind
+    mode: ScoreMode
+    delta: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.delta <= 1.0:
+            raise InvalidVariantError(
+                f"threshold delta must be in (0, 1], got {self.delta}"
+            )
+        if (
+            self.kind is SimilarityKind.PERFECT_RECALL
+            and self.mode is not ScoreMode.THRESHOLD
+        ):
+            raise InvalidVariantError(
+                "the Perfect-Recall variant is binary; use ScoreMode.THRESHOLD"
+            )
+
+    # -- constructors for the six variants evaluated in the paper --------
+
+    @staticmethod
+    def cutoff_jaccard(delta: float) -> "Variant":
+        return Variant(SimilarityKind.JACCARD, ScoreMode.CUTOFF, delta)
+
+    @staticmethod
+    def threshold_jaccard(delta: float) -> "Variant":
+        return Variant(SimilarityKind.JACCARD, ScoreMode.THRESHOLD, delta)
+
+    @staticmethod
+    def cutoff_f1(delta: float) -> "Variant":
+        return Variant(SimilarityKind.F1, ScoreMode.CUTOFF, delta)
+
+    @staticmethod
+    def threshold_f1(delta: float) -> "Variant":
+        return Variant(SimilarityKind.F1, ScoreMode.THRESHOLD, delta)
+
+    @staticmethod
+    def perfect_recall(delta: float) -> "Variant":
+        return Variant(SimilarityKind.PERFECT_RECALL, ScoreMode.THRESHOLD, delta)
+
+    @staticmethod
+    def exact() -> "Variant":
+        """The Exact variant: all similarity functions converge at delta = 1."""
+        return Variant(SimilarityKind.JACCARD, ScoreMode.THRESHOLD, 1.0)
+
+    # -- properties -------------------------------------------------------
+
+    @property
+    def is_binary(self) -> bool:
+        """True when covered sets always score exactly 1."""
+        return self.mode is ScoreMode.THRESHOLD
+
+    @property
+    def is_exact(self) -> bool:
+        """True when only an identical category can cover a set."""
+        return self.delta == 1.0
+
+    @property
+    def is_perfect_recall(self) -> bool:
+        return self.kind is SimilarityKind.PERFECT_RECALL
+
+    def with_delta(self, delta: float) -> "Variant":
+        """A copy of this variant with a different default threshold."""
+        return Variant(self.kind, self.mode, delta)
+
+    def describe(self) -> str:
+        """Human-readable name matching the paper's terminology."""
+        if self.is_exact:
+            return "Exact"
+        if self.kind is SimilarityKind.PERFECT_RECALL:
+            return f"Perfect-Recall(delta={self.delta:g})"
+        return f"{self.mode.value} {self.kind.value}(delta={self.delta:g})"

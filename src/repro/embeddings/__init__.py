@@ -1,0 +1,16 @@
+"""Embeddings: hashed TF-IDF titles and set-membership signatures."""
+
+from repro.embeddings.membership import (
+    SignatureGroups,
+    membership_groups,
+    signature_vectors,
+)
+from repro.embeddings.text import tfidf_vectors, title_embeddings
+
+__all__ = [
+    "SignatureGroups",
+    "membership_groups",
+    "signature_vectors",
+    "tfidf_vectors",
+    "title_embeddings",
+]

@@ -1,0 +1,61 @@
+"""Item membership signatures for the IC-Q baseline.
+
+IC-Q represents each item as the binary vector of the input sets it
+appears in. Items sharing a signature are interchangeable for the
+clustering, so they are compressed into signature groups first — an
+exact reduction that makes clustering feasible on large catalogs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+import numpy as np
+
+from repro.core.input_sets import OCTInstance
+
+Item = Hashable
+
+
+@dataclass
+class SignatureGroups:
+    """Items grouped by identical set membership."""
+
+    signatures: list[frozenset[int]]  # sids per group
+    members: list[list[Item]]  # items per group, aligned with signatures
+
+    def __len__(self) -> int:
+        return len(self.signatures)
+
+
+def membership_groups(
+    instance: OCTInstance, include_universe: bool = True
+) -> SignatureGroups:
+    """Group universe items by the sets containing them.
+
+    Items outside every input set share the empty signature (one group).
+    """
+    containing = instance.sets_containing()
+    by_signature: dict[frozenset[int], list[Item]] = {}
+    items = instance.universe if include_universe else containing.keys()
+    for item in items:
+        signature = frozenset(q.sid for q in containing.get(item, ()))
+        by_signature.setdefault(signature, []).append(item)
+    signatures = sorted(by_signature, key=lambda s: (len(s), sorted(s)))
+    return SignatureGroups(
+        signatures=signatures,
+        members=[sorted(by_signature[s], key=str) for s in signatures],
+    )
+
+
+def signature_vectors(
+    groups: SignatureGroups, instance: OCTInstance
+) -> np.ndarray:
+    """Dense 0/1 membership matrix, one row per signature group."""
+    order = {q.sid: i for i, q in enumerate(instance.sets)}
+    matrix = np.zeros((len(groups), len(order)), dtype=np.float64)
+    for row, signature in enumerate(groups.signatures):
+        for sid in signature:
+            matrix[row, order[sid]] = 1.0
+    return matrix

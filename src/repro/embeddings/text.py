@@ -1,0 +1,81 @@
+"""Title embeddings for the IC-S baseline.
+
+The paper's IC-S uses title embeddings from a proprietary
+domain-trained model. As the offline substitute we use TF-IDF-weighted
+feature hashing into a fixed-dimension space (deterministic — CRC-based
+hashing, no process-salted ``hash``), followed by L2 normalization.
+This preserves the property the baseline depends on: items with similar
+titles (and therefore similar attributes) land close together.
+"""
+
+from __future__ import annotations
+
+import math
+import zlib
+
+import numpy as np
+
+from repro.search.analyzer import tokenize
+
+
+def _hash_token(token: str, dim: int) -> tuple[int, float]:
+    """Stable (bucket, sign) pair for one token."""
+    digest = zlib.crc32(token.encode("utf-8"))
+    bucket = digest % dim
+    sign = 1.0 if (digest >> 16) & 1 else -1.0
+    return bucket, sign
+
+
+def title_embeddings(titles: list[str], dim: int = 64) -> np.ndarray:
+    """Embed titles as L2-normalized hashed TF-IDF vectors.
+
+    Returns an array of shape ``(len(titles), dim)``. Empty titles embed
+    to the zero vector.
+    """
+    if dim < 1:
+        raise ValueError("embedding dimension must be positive")
+    token_lists = [tokenize(t) for t in titles]
+    df: dict[str, int] = {}
+    for tokens in token_lists:
+        for token in set(tokens):
+            df[token] = df.get(token, 0) + 1
+    n = len(titles)
+    idf = {
+        token: math.log(1.0 + n / (1.0 + count)) for token, count in df.items()
+    }
+    vectors = np.zeros((n, dim), dtype=np.float64)
+    for row, tokens in enumerate(token_lists):
+        counts: dict[str, int] = {}
+        for token in tokens:
+            counts[token] = counts.get(token, 0) + 1
+        for token, tf in counts.items():
+            bucket, sign = _hash_token(token, dim)
+            vectors[row, bucket] += sign * tf * idf[token]
+    norms = np.linalg.norm(vectors, axis=1)
+    nonzero = norms > 0
+    vectors[nonzero] /= norms[nonzero, None]
+    return vectors
+
+
+def tfidf_vectors(titles: list[str]) -> list[dict[str, float]]:
+    """Sparse L2-normalized TF-IDF vectors (for cohesiveness metrics)."""
+    token_lists = [tokenize(t) for t in titles]
+    df: dict[str, int] = {}
+    for tokens in token_lists:
+        for token in set(tokens):
+            df[token] = df.get(token, 0) + 1
+    n = len(titles)
+    idf = {
+        token: math.log(1.0 + n / (1.0 + count)) for token, count in df.items()
+    }
+    result: list[dict[str, float]] = []
+    for tokens in token_lists:
+        counts: dict[str, int] = {}
+        for token in tokens:
+            counts[token] = counts.get(token, 0) + 1
+        vec = {token: tf * idf[token] for token, tf in counts.items()}
+        norm = math.sqrt(sum(v * v for v in vec.values()))
+        if norm > 0:
+            vec = {k: v / norm for k, v in vec.items()}
+        result.append(vec)
+    return result

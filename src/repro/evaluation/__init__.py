@@ -1,0 +1,55 @@
+"""Evaluation harness: comparisons, robustness, Table 1, cohesiveness."""
+
+from repro.evaluation.cohesiveness import CohesivenessReport, tree_cohesiveness
+from repro.evaluation.faceted import FacetPath, facet_effort, mean_effort
+from repro.evaluation.navigation import (
+    NavigationReport,
+    add_navigation_categories,
+    navigation_report,
+)
+from repro.evaluation.tree_diff import CategoryMatch, TreeDiff, diff_trees
+from repro.evaluation.compare import (
+    AlgorithmResult,
+    evaluate_tree,
+    run_comparison,
+)
+from repro.evaluation.contribution import (
+    ContributionRow,
+    contribution_table,
+    reweight_sources,
+)
+from repro.evaluation.reporting import format_table, print_experiment
+from repro.evaluation.sweep import SweepPoint, delta_range, threshold_sweep
+from repro.evaluation.train_test import (
+    TrainTestResult,
+    split_instance,
+    train_test_evaluation,
+)
+
+__all__ = [
+    "AlgorithmResult",
+    "CategoryMatch",
+    "CohesivenessReport",
+    "ContributionRow",
+    "FacetPath",
+    "NavigationReport",
+    "SweepPoint",
+    "TrainTestResult",
+    "TreeDiff",
+    "add_navigation_categories",
+    "contribution_table",
+    "delta_range",
+    "diff_trees",
+    "evaluate_tree",
+    "facet_effort",
+    "format_table",
+    "mean_effort",
+    "navigation_report",
+    "print_experiment",
+    "reweight_sources",
+    "run_comparison",
+    "split_instance",
+    "threshold_sweep",
+    "train_test_evaluation",
+    "tree_cohesiveness",
+]

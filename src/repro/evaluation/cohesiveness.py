@@ -1,0 +1,76 @@
+"""Category cohesiveness via title TF-IDF similarity (paper Section 5.4).
+
+The paper confirms CTCR's categories are as semantically cohesive as the
+manually built tree by computing the average pairwise TF-IDF similarity
+of product titles within each category (0.52 vs 0.49 uniform-averaged,
+0.45 for both when weighting by category size).
+
+With L2-normalized vectors, the mean pairwise cosine within a category
+of n items is ``(|sum v|^2 - n) / (n (n - 1))`` — no quadratic loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.tree import CategoryTree
+from repro.embeddings.text import tfidf_vectors
+
+
+def _mean_pairwise_cosine(vectors: list[dict[str, float]]) -> float:
+    n = len(vectors)
+    if n < 2:
+        return 1.0
+    total: dict[str, float] = {}
+    norm_sq_sum = 0.0
+    for vec in vectors:
+        for token, value in vec.items():
+            total[token] = total.get(token, 0.0) + value
+        norm_sq_sum += sum(v * v for v in vec.values())
+    sum_norm_sq = sum(v * v for v in total.values())
+    return (sum_norm_sq - norm_sq_sum) / (n * (n - 1))
+
+
+@dataclass(frozen=True)
+class CohesivenessReport:
+    """Average within-category title similarity of one tree."""
+
+    uniform_average: float
+    size_weighted_average: float
+    categories_measured: int
+
+
+def tree_cohesiveness(
+    tree: CategoryTree,
+    titles: dict,
+    min_size: int = 2,
+    leaf_only: bool = True,
+) -> CohesivenessReport:
+    """Cohesiveness of a tree's (leaf) categories.
+
+    Leaf categories are the user-facing granularity; internal categories
+    mix their children by construction, so measuring them would penalize
+    breadth rather than cohesion.
+    """
+    item_list = sorted(titles, key=str)
+    vectors = tfidf_vectors([titles[item] for item in item_list])
+    vec_of = dict(zip(item_list, vectors))
+    cats = tree.leaves() if leaf_only else list(tree.non_root_categories())
+    per_category: list[tuple[float, int]] = []
+    for cat in cats:
+        members = [vec_of[item] for item in cat.items if item in vec_of]
+        if len(members) < min_size:
+            continue
+        per_category.append((_mean_pairwise_cosine(members), len(members)))
+    if not per_category:
+        return CohesivenessReport(0.0, 0.0, 0)
+    uniform = sum(score for score, _n in per_category) / len(per_category)
+    total_items = sum(n for _score, n in per_category)
+    weighted = (
+        sum(score * n for score, n in per_category) / total_items
+    )
+    return CohesivenessReport(
+        uniform_average=uniform,
+        size_weighted_average=weighted,
+        categories_measured=len(per_category),
+    )

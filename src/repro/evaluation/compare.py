@@ -1,0 +1,59 @@
+"""Head-to-head algorithm comparison (the Figure 8a/8b/8c/8e experiments)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algorithms.base import TreeBuilder
+from repro.core.input_sets import OCTInstance
+from repro.core.scoring import ScoreReport, score_tree
+from repro.core.tree import CategoryTree
+from repro.core.variants import Variant
+from repro.utils.timer import Timer
+
+
+@dataclass(frozen=True)
+class AlgorithmResult:
+    """One algorithm's outcome on one instance/variant."""
+
+    name: str
+    normalized_score: float
+    covered_count: int
+    covered_weight: float
+    num_categories: int
+    seconds: float
+
+
+def run_comparison(
+    builders: list[TreeBuilder],
+    instance: OCTInstance,
+    variant: Variant,
+    validate: bool = True,
+) -> list[AlgorithmResult]:
+    """Build and score a tree per algorithm; rows sorted best-first."""
+    rows = []
+    for builder in builders:
+        with Timer() as timer:
+            tree = builder.build(instance, variant)
+        if validate:
+            tree.validate(universe=instance.universe, bound=instance.bound)
+        report = score_tree(tree, instance, variant)
+        rows.append(
+            AlgorithmResult(
+                name=builder.name,
+                normalized_score=report.normalized,
+                covered_count=report.covered_count,
+                covered_weight=report.covered_weight,
+                num_categories=len(tree),
+                seconds=timer.elapsed,
+            )
+        )
+    rows.sort(key=lambda r: -r.normalized_score)
+    return rows
+
+
+def evaluate_tree(
+    tree: CategoryTree, instance: OCTInstance, variant: Variant
+) -> ScoreReport:
+    """Thin convenience wrapper mirroring :func:`score_tree`."""
+    return score_tree(tree, instance, variant)

@@ -1,0 +1,90 @@
+"""Source-contribution analysis (paper Table 1).
+
+The conservative-update workflow adds the existing tree's categories as
+input sets alongside query result sets; modulating the weight ratio
+between the two sources should translate into roughly the same ratio of
+score contributions — that is what makes weight tuning an effective
+control over how much the tree may change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algorithms.base import TreeBuilder
+from repro.core.input_sets import InputSet, OCTInstance
+from repro.core.scoring import score_tree
+from repro.core.variants import Variant
+
+
+@dataclass(frozen=True)
+class ContributionRow:
+    """One Table 1 row: a weight ratio and the resulting score split."""
+
+    query_weight_share: float
+    query_score_share: float
+    existing_score_share: float
+    normalized_score: float
+
+
+def reweight_sources(
+    instance: OCTInstance, query_share: float
+) -> OCTInstance:
+    """Scale weights so the sources' total weights have the given ratio.
+
+    ``query_share`` is the fraction (0..1) of the total weight carried by
+    ``source == 'query'`` sets; everything else is scaled to carry the
+    complement. Relative weights within each source are preserved.
+    """
+    if not 0.0 < query_share < 1.0:
+        raise ValueError("query_share must be strictly between 0 and 1")
+    query_total = sum(q.weight for q in instance if q.source == "query")
+    other_total = sum(q.weight for q in instance if q.source != "query")
+    if query_total <= 0 or other_total <= 0:
+        raise ValueError("both sources must carry positive weight")
+    query_factor = query_share / query_total
+    other_factor = (1.0 - query_share) / other_total
+    reweighted = [
+        InputSet(
+            sid=q.sid,
+            items=q.items,
+            weight=q.weight
+            * (query_factor if q.source == "query" else other_factor),
+            threshold=q.threshold,
+            label=q.label,
+            source=q.source,
+        )
+        for q in instance
+    ]
+    return OCTInstance(
+        reweighted,
+        universe=instance.universe,
+        default_bound=instance.default_bound,
+    )
+
+
+def contribution_table(
+    builder: TreeBuilder,
+    instance: OCTInstance,
+    variant: Variant,
+    query_shares: list[float] = (0.9, 0.7, 0.5, 0.3, 0.1),
+) -> list[ContributionRow]:
+    """Reproduce Table 1 for a mixed query/existing-category instance."""
+    rows = []
+    for share in query_shares:
+        mixed = reweight_sources(instance, share)
+        tree = builder.build(mixed, variant)
+        report = score_tree(tree, mixed, variant)
+        by_source = report.score_by_source(mixed)
+        total = sum(by_source.values())
+        query_part = by_source.get("query", 0.0)
+        existing_part = total - query_part
+        rows.append(
+            ContributionRow(
+                query_weight_share=share,
+                query_score_share=query_part / total if total else 0.0,
+                existing_score_share=existing_part / total if total else 0.0,
+                normalized_score=report.normalized,
+            )
+        )
+    return rows

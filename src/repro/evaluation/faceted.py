@@ -1,0 +1,119 @@
+"""Faceted-search effort (paper Section 2.2, Perfect-Recall motivation).
+
+The Perfect-Recall variant exists because faceted search lets a user
+land on a broad category and *filter down*: a cover with recall 1 and
+moderate precision is fine when the filtering interface can strip the
+extras. This module quantifies that claim: given a covering category and
+the item attributes, how many facet filters does a user need to isolate
+(a superset close to) her target set?
+
+A filter step picks the single attribute=value predicate that removes
+the most non-target items while keeping every target item. The *effort*
+of a cover is the number of steps until precision reaches the goal (or
+no safe filter remains).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.catalog.products import Product
+from repro.core.tree import CategoryTree
+from repro.core.variants import Variant
+from repro.core.input_sets import OCTInstance
+from repro.core.scoring import score_tree
+
+
+@dataclass(frozen=True)
+class FacetPath:
+    """The filtering session for one input set."""
+
+    sid: int
+    start_cid: int | None
+    steps: tuple[str, ...]  # "attribute=value" predicates applied
+    start_precision: float
+    final_precision: float
+    reached_goal: bool
+
+
+def _filter_once(
+    current: set[str],
+    target: frozenset,
+    attributes: dict[str, dict[str, str]],
+) -> tuple[str, set[str]] | None:
+    """The best single safe filter, or None when nothing helps."""
+    # Candidate predicates: values shared by *all* target items.
+    shared: dict[str, str] = {}
+    target_list = [i for i in target if i in attributes]
+    if not target_list:
+        return None
+    first = attributes[target_list[0]]
+    for name, value in first.items():
+        if all(attributes[i].get(name) == value for i in target_list[1:]):
+            shared[name] = value
+    best: tuple[str, set[str]] | None = None
+    for name, value in sorted(shared.items()):
+        kept = {
+            i
+            for i in current
+            if i in target or attributes.get(i, {}).get(name) == value
+        }
+        if len(kept) < len(current) and (
+            best is None or len(kept) < len(best[1])
+        ):
+            best = (f"{name}={value}", kept)
+    return best
+
+
+def facet_effort(
+    tree: CategoryTree,
+    instance: OCTInstance,
+    variant: Variant,
+    products: list[Product],
+    precision_goal: float = 0.9,
+    max_steps: int = 5,
+) -> list[FacetPath]:
+    """Simulate a facet-filtering session per covered input set."""
+    attributes = {p.pid: p.attributes for p in products}
+    report = score_tree(tree, instance, variant)
+    by_cid = {cat.cid: cat for cat in tree.categories()}
+    paths = []
+    for q in instance:
+        entry = report.per_set[q.sid]
+        if not entry.covered or entry.best_cid is None:
+            continue
+        cat = by_cid[entry.best_cid]
+        current = set(cat.items)
+        target = q.items
+        inter = len(target & current)
+        start_precision = inter / len(current) if current else 0.0
+        precision = start_precision
+        steps: list[str] = []
+        while precision < precision_goal and len(steps) < max_steps:
+            move = _filter_once(current, target, attributes)
+            if move is None:
+                break
+            predicate, kept = move
+            steps.append(predicate)
+            current = kept
+            inter = len(target & current)
+            precision = inter / len(current) if current else 0.0
+        paths.append(
+            FacetPath(
+                sid=q.sid,
+                start_cid=entry.best_cid,
+                steps=tuple(steps),
+                start_precision=start_precision,
+                final_precision=precision,
+                reached_goal=precision >= precision_goal,
+            )
+        )
+    return paths
+
+
+def mean_effort(paths: list[FacetPath]) -> float:
+    """Average number of filter steps over the successful sessions."""
+    done = [p for p in paths if p.reached_goal]
+    if not done:
+        return 0.0
+    return sum(len(p.steps) for p in done) / len(done)

@@ -1,0 +1,92 @@
+"""Navigability metrics and navigation aids (paper Section 2.3).
+
+The algorithms output the minimal number of categories needed for their
+score; taxonomists then add intermediate categories to ease navigation,
+which the model allows "without affecting the score" — an intermediate
+node containing the union of some siblings adds a cover candidate and
+can only help. This module measures a tree's navigability and provides
+the score-safe fan-out splitter taxonomists would apply.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.tree import Category, CategoryTree
+
+
+@dataclass(frozen=True)
+class NavigationReport:
+    """Structural navigability measures of a tree."""
+
+    num_categories: int
+    max_depth: int
+    mean_leaf_depth: float
+    max_fanout: int
+    mean_fanout: float  # over internal nodes
+    mean_leaf_size: float
+
+    @property
+    def click_estimate(self) -> float:
+        """Rough browse cost: scanning fanout choices along a mean path."""
+        return self.mean_leaf_depth * max(1.0, self.mean_fanout) / 2.0
+
+
+def navigation_report(tree: CategoryTree) -> NavigationReport:
+    """Compute the structural navigability measures."""
+    leaves = tree.leaves()
+    internal = [c for c in tree.categories() if c.children]
+    fanouts = [len(c.children) for c in internal]
+    leaf_depths = [c.depth for c in leaves]
+    leaf_sizes = [len(c.items) for c in leaves]
+    return NavigationReport(
+        num_categories=len(tree),
+        max_depth=max(leaf_depths, default=0),
+        mean_leaf_depth=(
+            sum(leaf_depths) / len(leaf_depths) if leaf_depths else 0.0
+        ),
+        max_fanout=max(fanouts, default=0),
+        mean_fanout=sum(fanouts) / len(fanouts) if fanouts else 0.0,
+        mean_leaf_size=(
+            sum(leaf_sizes) / len(leaf_sizes) if leaf_sizes else 0.0
+        ),
+    )
+
+
+def add_navigation_categories(
+    tree: CategoryTree, max_children: int = 12
+) -> int:
+    """Split oversized fan-outs with intermediate grouping nodes.
+
+    Children of a node with more than ``max_children`` children are
+    packed (in label order) into intermediate categories of at most
+    ``max_children`` each. Each new node holds the union of its group —
+    a valid intermediate category, so validity and scores are preserved
+    (an extra union node can only add cover candidates). Returns the
+    number of nodes inserted.
+    """
+    if max_children < 2:
+        raise ValueError("max_children must be at least 2")
+    added = 0
+    queue: list[Category] = [tree.root]
+    while queue:
+        node = queue.pop()
+        while len(node.children) > max_children:
+            ordered = sorted(
+                node.children, key=lambda c: (c.label, c.cid)
+            )
+            group_size = max_children
+            n_groups = math.ceil(len(ordered) / group_size)
+            if n_groups < 2:
+                break
+            for g in range(n_groups):
+                group = ordered[g * group_size : (g + 1) * group_size]
+                if len(group) < 2:
+                    continue
+                first = group[0].label or "…"
+                last = group[-1].label or "…"
+                tree.insert_parent(group, label=f"{first} – {last}")
+                added += 1
+        queue.extend(node.children)
+    return added

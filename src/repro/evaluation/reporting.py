@@ -1,0 +1,54 @@
+"""Plain-text reporting for benchmark output.
+
+Every benchmark prints the series/rows the paper's figure or table
+reports, alongside the paper's qualitative expectation, so the console
+output doubles as the EXPERIMENTS.md evidence.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Fixed-width ASCII table."""
+    cells = [[str(h) for h in headers]] + [
+        [_format_cell(value) for value in row] for row in rows
+    ]
+    widths = [
+        max(len(row[col]) for row in cells) for col in range(len(headers))
+    ]
+    lines = []
+    for i, row in enumerate(cells):
+        line = "  ".join(cell.ljust(widths[c]) for c, cell in enumerate(row))
+        lines.append(line.rstrip())
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)
+
+
+def print_experiment(
+    title: str,
+    paper_expectation: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> str:
+    """Render and print one experiment block; returns the text."""
+    block = "\n".join(
+        [
+            "",
+            f"=== {title} ===",
+            f"paper: {paper_expectation}",
+            format_table(headers, rows),
+        ]
+    )
+    print(block)
+    return block

@@ -1,0 +1,57 @@
+"""Threshold sweeps (paper Figures 8g and 8h).
+
+CTCR's score rises monotonically (in expectation) as the threshold drops
+— lower thresholds admit more covers — and is locally flat around the
+taxonomists' preferred delta = 0.8, which is what made tuning easy in
+the user study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algorithms.base import TreeBuilder
+from repro.core.input_sets import OCTInstance
+from repro.core.scoring import score_tree
+from repro.core.variants import Variant
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (delta, score) point of a threshold sweep."""
+
+    delta: float
+    normalized_score: float
+    covered_count: int
+
+
+def threshold_sweep(
+    builder: TreeBuilder,
+    instance: OCTInstance,
+    variant: Variant,
+    deltas: list[float],
+) -> list[SweepPoint]:
+    """Score a builder across thresholds of the same variant family."""
+    points = []
+    for delta in deltas:
+        v = variant.with_delta(delta)
+        tree = builder.build(instance, v)
+        report = score_tree(tree, instance, v)
+        points.append(
+            SweepPoint(
+                delta=delta,
+                normalized_score=report.normalized,
+                covered_count=report.covered_count,
+            )
+        )
+    return points
+
+
+def delta_range(start: float, stop: float, step: float) -> list[float]:
+    """Inclusive float range with stable rounding (0.5..1.0 by 0.01 etc.)."""
+    deltas = []
+    value = start
+    while value <= stop + 1e-9:
+        deltas.append(round(value, 6))
+        value += step
+    return deltas

@@ -1,0 +1,80 @@
+"""Train/test robustness evaluation (paper Section 5.2, Figure 8d).
+
+The input sets are randomly split in half; the tree is built over the
+training half and scored against the held-out half, repeated over many
+random partitions. Scores are expectedly lower than in-sample, but the
+algorithm ranking should persist.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+
+from repro.algorithms.base import TreeBuilder
+from repro.core.input_sets import OCTInstance
+from repro.core.scoring import score_tree
+from repro.core.variants import Variant
+from repro.utils.rng import make_rng
+
+
+@dataclass(frozen=True)
+class TrainTestResult:
+    """Aggregated held-out performance of one algorithm."""
+
+    name: str
+    mean_test_score: float
+    std_test_score: float
+    mean_train_score: float
+    repetitions: int
+
+
+def split_instance(
+    instance: OCTInstance, rng
+) -> tuple[OCTInstance, OCTInstance]:
+    """A random equal-cardinality train/test partition of the input sets."""
+    sids = [q.sid for q in instance]
+    rng.shuffle(sids)
+    half = len(sids) // 2
+    train = instance.restricted_to(sids[:half])
+    test = instance.restricted_to(sids[half:])
+    return train, test
+
+
+def train_test_evaluation(
+    builders: list[TreeBuilder],
+    instance: OCTInstance,
+    variant: Variant,
+    repetitions: int = 5,
+    seed: int = 0,
+) -> list[TrainTestResult]:
+    """Average held-out normalized score over random splits."""
+    rng = make_rng(seed)
+    test_scores: dict[str, list[float]] = {b.name: [] for b in builders}
+    train_scores: dict[str, list[float]] = {b.name: [] for b in builders}
+    for _ in range(repetitions):
+        train, test = split_instance(instance, rng)
+        for builder in builders:
+            tree = builder.build(train, variant)
+            train_scores[builder.name].append(
+                score_tree(tree, train, variant).normalized
+            )
+            test_scores[builder.name].append(
+                score_tree(tree, test, variant).normalized
+            )
+    results = []
+    for builder in builders:
+        scores = test_scores[builder.name]
+        results.append(
+            TrainTestResult(
+                name=builder.name,
+                mean_test_score=statistics.fmean(scores),
+                std_test_score=(
+                    statistics.stdev(scores) if len(scores) > 1 else 0.0
+                ),
+                mean_train_score=statistics.fmean(train_scores[builder.name]),
+                repetitions=repetitions,
+            )
+        )
+    results.sort(key=lambda r: -r.mean_test_score)
+    return results

@@ -1,0 +1,131 @@
+"""Structural tree comparison for conservative updates (Section 2.3).
+
+"An important concern is ensuring that the new tree would not be
+radically different, to maintain consistency." This module quantifies
+how different two trees are, so the weight knob of the continual-update
+workflow (Table 1) can be checked against what taxonomists actually
+care about: how many categories survived, and how many items moved.
+
+Categories are matched greedily by Jaccard similarity of their item
+sets (best match first); unmatched categories count as added/removed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.similarity import jaccard
+from repro.core.tree import CategoryTree
+
+
+@dataclass(frozen=True)
+class CategoryMatch:
+    """One matched category pair across the two trees."""
+
+    old_cid: int
+    new_cid: int
+    similarity: float
+
+
+@dataclass(frozen=True)
+class TreeDiff:
+    """Summary of the structural difference between two trees."""
+
+    matches: tuple[CategoryMatch, ...]
+    removed_cids: tuple[int, ...]  # only in the old tree
+    added_cids: tuple[int, ...]  # only in the new tree
+    mean_matched_similarity: float
+    item_stability: float  # fraction of items keeping a similar home
+
+    @property
+    def survival_rate(self) -> float:
+        """Fraction of old categories with a counterpart in the new tree."""
+        total = len(self.matches) + len(self.removed_cids)
+        return len(self.matches) / total if total else 1.0
+
+
+def diff_trees(
+    old: CategoryTree,
+    new: CategoryTree,
+    min_similarity: float = 0.5,
+) -> TreeDiff:
+    """Match categories across two trees and summarize the changes.
+
+    Only non-root categories participate. A pair is a match when its
+    Jaccard similarity reaches ``min_similarity``; matching is greedy
+    best-first, one-to-one.
+    """
+    old_cats = [c for c in old.non_root_categories() if c.items]
+    new_cats = [c for c in new.non_root_categories() if c.items]
+
+    candidates: list[tuple[float, int, int]] = []
+    # Inverted index over new categories for sparse candidate generation.
+    item_to_new: dict = {}
+    for j, cat in enumerate(new_cats):
+        for item in cat.items:
+            item_to_new.setdefault(item, []).append(j)
+    for i, old_cat in enumerate(old_cats):
+        seen: set[int] = set()
+        for item in old_cat.items:
+            seen.update(item_to_new.get(item, ()))
+        for j in seen:
+            sim = jaccard(old_cat.items, new_cats[j].items)
+            if sim >= min_similarity:
+                candidates.append((sim, i, j))
+    candidates.sort(key=lambda t: (-t[0], t[1], t[2]))
+
+    used_old: set[int] = set()
+    used_new: set[int] = set()
+    matches: list[CategoryMatch] = []
+    for sim, i, j in candidates:
+        if i in used_old or j in used_new:
+            continue
+        used_old.add(i)
+        used_new.add(j)
+        matches.append(
+            CategoryMatch(
+                old_cid=old_cats[i].cid,
+                new_cid=new_cats[j].cid,
+                similarity=sim,
+            )
+        )
+
+    removed = tuple(
+        old_cats[i].cid for i in range(len(old_cats)) if i not in used_old
+    )
+    added = tuple(
+        new_cats[j].cid for j in range(len(new_cats)) if j not in used_new
+    )
+    mean_sim = (
+        sum(m.similarity for m in matches) / len(matches) if matches else 0.0
+    )
+
+    # Item stability: an item is stable when one of its most-specific
+    # old categories matched a new category still containing it.
+    matched_new_by_old = {m.old_cid: m.new_cid for m in matches}
+    new_items_by_cid = {
+        c.cid: c.items for c in new.non_root_categories()
+    }
+    old_minimal: dict = {}
+    for cat in old.non_root_categories():
+        child_items: set = set()
+        for child in cat.children:
+            child_items |= child.items
+        for item in cat.items - child_items:
+            old_minimal.setdefault(item, []).append(cat.cid)
+    stable = 0
+    for item, cids in old_minimal.items():
+        for cid in cids:
+            new_cid = matched_new_by_old.get(cid)
+            if new_cid is not None and item in new_items_by_cid.get(new_cid, ()):
+                stable += 1
+                break
+    stability = stable / len(old_minimal) if old_minimal else 1.0
+
+    return TreeDiff(
+        matches=tuple(matches),
+        removed_cids=removed,
+        added_cids=added,
+        mean_matched_similarity=mean_sim,
+        item_stability=stability,
+    )

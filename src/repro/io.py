@@ -1,0 +1,152 @@
+"""Serialization: category trees and instances to/from JSON.
+
+Deployments need to hand trees between the construction tool and the
+platform (and to taxonomists' review UIs); this module provides a stable
+JSON shape with full round-trip fidelity for trees and OCT instances.
+Items must be JSON-representable (strings or numbers — the catalog uses
+string product ids).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.core.exceptions import ReproError
+from repro.core.input_sets import InputSet, OCTInstance
+from repro.core.tree import Category, CategoryTree
+
+FORMAT_VERSION = 1
+
+
+class SerializationError(ReproError):
+    """Raised on malformed serialized payloads."""
+
+
+# -- trees ------------------------------------------------------------------
+
+
+def tree_to_dict(tree: CategoryTree) -> dict[str, Any]:
+    """A JSON-ready dict for a category tree."""
+
+    def node(cat: Category) -> dict[str, Any]:
+        return {
+            "cid": cat.cid,
+            "label": cat.label,
+            "items": sorted(cat.items, key=str),
+            "matched_sids": list(cat.matched_sids),
+            "children": [node(c) for c in cat.children],
+        }
+
+    return {"version": FORMAT_VERSION, "root": node(tree.root)}
+
+
+def tree_from_dict(payload: dict[str, Any]) -> CategoryTree:
+    """Rebuild a tree serialized by :func:`tree_to_dict`."""
+    if payload.get("version") != FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported tree format version {payload.get('version')!r}"
+        )
+    root_payload = payload.get("root")
+    if not isinstance(root_payload, dict):
+        raise SerializationError("missing root node")
+
+    tree = CategoryTree(root_label=root_payload.get("label", "root"))
+    tree.root.items = set(root_payload.get("items", []))
+    tree.root.matched_sids = list(root_payload.get("matched_sids", []))
+
+    def attach(children: list[dict[str, Any]], parent: Category) -> None:
+        for child in children:
+            cat = tree.add_category(
+                child.get("items", []),
+                parent=parent,
+                label=child.get("label", ""),
+            )
+            cat.matched_sids = list(child.get("matched_sids", []))
+            attach(child.get("children", []), cat)
+
+    attach(root_payload.get("children", []), tree.root)
+    return tree
+
+
+def dump_tree(tree: CategoryTree, path: str) -> None:
+    """Write a tree to a JSON file."""
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(tree_to_dict(tree), f, indent=2, sort_keys=True)
+
+
+def load_tree(path: str) -> CategoryTree:
+    """Read a tree from a JSON file."""
+    with open(path, encoding="utf-8") as f:
+        return tree_from_dict(json.load(f))
+
+
+# -- instances ---------------------------------------------------------------
+
+
+def instance_to_dict(instance: OCTInstance) -> dict[str, Any]:
+    """A JSON-ready dict for an OCT instance."""
+    return {
+        "version": FORMAT_VERSION,
+        "default_bound": instance.default_bound,
+        "universe": sorted(instance.universe, key=str),
+        "item_bounds": {
+            str(item): instance.bound(item)
+            for item in instance.universe
+            if instance.bound(item) != instance.default_bound
+        },
+        "sets": [
+            {
+                "sid": q.sid,
+                "items": sorted(q.items, key=str),
+                "weight": q.weight,
+                "threshold": q.threshold,
+                "label": q.label,
+                "source": q.source,
+            }
+            for q in instance
+        ],
+    }
+
+
+def instance_from_dict(payload: dict[str, Any]) -> OCTInstance:
+    """Rebuild an instance serialized by :func:`instance_to_dict`.
+
+    Note: per-item bounds are keyed by ``str(item)``, so non-string item
+    types round-trip their bounds only when their string form is unique.
+    """
+    if payload.get("version") != FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported instance format version {payload.get('version')!r}"
+        )
+    sets = [
+        InputSet(
+            sid=entry["sid"],
+            items=frozenset(entry["items"]),
+            weight=entry.get("weight", 1.0),
+            threshold=entry.get("threshold"),
+            label=entry.get("label", ""),
+            source=entry.get("source", "query"),
+        )
+        for entry in payload.get("sets", [])
+    ]
+    universe = payload.get("universe")
+    bounds = payload.get("item_bounds", {})
+    return OCTInstance(
+        sets,
+        universe=universe,
+        item_bounds=bounds,
+        default_bound=payload.get("default_bound", 1),
+    )
+
+
+def dump_instance(instance: OCTInstance, path: str) -> None:
+    """Write an instance to a JSON file."""
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(instance_to_dict(instance), f, indent=2, sort_keys=True)
+
+
+def load_instance(path: str) -> OCTInstance:
+    """Read an instance from a JSON file."""
+    with open(path, encoding="utf-8") as f:
+        return instance_from_dict(json.load(f))

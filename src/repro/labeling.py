@@ -1,0 +1,90 @@
+"""Category labeling support (paper Section 2.3, "Labeling").
+
+Naming categories is outside the paper's formal scope, but the system
+marks each category with the input sets it matches, and their labels
+(a search query or an existing-category name) naturally hint at a name;
+when a category matches several sets, the precision requirement ensures
+a large overlap, so the labels agree. Taxonomists in the user study
+found labeling the CTCR tree straightforward on this basis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.input_sets import OCTInstance
+from repro.core.scoring import covering_categories
+from repro.core.tree import CategoryTree
+from repro.core.variants import Variant
+from repro.search.analyzer import tokenize
+
+
+@dataclass(frozen=True)
+class LabelSuggestion:
+    """A naming hint for one category."""
+
+    cid: int
+    suggestion: str
+    matched_labels: tuple[str, ...]
+    confidence: float  # weight share of the winning label
+
+
+def _common_tokens(labels: list[str]) -> list[str]:
+    nonempty = [label for label in labels if label]
+    if not nonempty:
+        return []
+    token_sets = [set(tokenize(label)) for label in nonempty]
+    common = set.intersection(*token_sets)
+    # Preserve the token order of the first (non-empty) label.
+    return [t for t in tokenize(nonempty[0]) if t in common]
+
+
+def suggest_labels(
+    tree: CategoryTree, instance: OCTInstance, variant: Variant
+) -> list[LabelSuggestion]:
+    """Naming hints for every covering category.
+
+    The winning suggestion is the heaviest matched set's label; when
+    several sets match, the tokens shared by all matched labels are
+    preferred if any exist (e.g. "black shirt" + "black adidas shirt"
+    suggests "black shirt"-area naming with explicit alternatives).
+    """
+    suggestions = []
+    for cid, sids in covering_categories(tree, instance, variant).items():
+        matched = [instance.get(sid) for sid in sids]
+        matched.sort(key=lambda q: -q.weight)
+        labels = [q.label for q in matched if q.label]
+        if not labels:
+            continue
+        total_weight = sum(q.weight for q in matched)
+        winner = labels[0]
+        if len(labels) > 1:
+            common = _common_tokens(labels)
+            if common:
+                winner = " ".join(common)
+        confidence = (
+            matched[0].weight / total_weight if total_weight > 0 else 0.0
+        )
+        suggestions.append(
+            LabelSuggestion(
+                cid=cid,
+                suggestion=winner,
+                matched_labels=tuple(labels),
+                confidence=confidence,
+            )
+        )
+    return suggestions
+
+
+def apply_label_suggestions(
+    tree: CategoryTree, suggestions: list[LabelSuggestion]
+) -> int:
+    """Stamp suggestions onto unlabeled categories; returns how many."""
+    by_cid = {cat.cid: cat for cat in tree.categories()}
+    applied = 0
+    for s in suggestions:
+        cat = by_cid.get(s.cid)
+        if cat is not None and not cat.label:
+            cat.label = s.suggestion
+            applied += 1
+    return applied

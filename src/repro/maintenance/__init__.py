@@ -1,0 +1,31 @@
+"""Human-in-the-loop maintenance tools (paper Section 5.4)."""
+
+from repro.maintenance.classify import (
+    Placement,
+    apply_placements,
+    classify_new_items,
+)
+from repro.maintenance.coverage import (
+    RescueResult,
+    lower_uncovered_thresholds,
+    orphaned_items,
+    rescue_uncovered,
+    uncovered_sets,
+)
+from repro.maintenance.outliers import OutlierReport, detect_misassigned_items
+from repro.maintenance.subtree import rebuild_subtree, restrict_instance_to_items
+
+__all__ = [
+    "OutlierReport",
+    "Placement",
+    "RescueResult",
+    "apply_placements",
+    "classify_new_items",
+    "detect_misassigned_items",
+    "lower_uncovered_thresholds",
+    "orphaned_items",
+    "rebuild_subtree",
+    "rescue_uncovered",
+    "restrict_instance_to_items",
+    "uncovered_sets",
+]

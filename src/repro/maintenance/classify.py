@@ -1,0 +1,87 @@
+"""New-item classification into an existing tree (paper Section 5.4).
+
+Taxonomists assign new items automatically (the paper cites Cevahir &
+Murakami's large-scale categorizer); the offline stand-in here places a
+new item into the leaf category whose members' TF-IDF title centroid is
+most similar to the item's title.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.core.tree import CategoryTree
+from repro.embeddings.text import tfidf_vectors
+from repro.maintenance.outliers import _centroid, _cosine
+
+Item = Hashable
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Suggested category for one new item."""
+
+    item: Item
+    cid: int
+    category_label: str
+    similarity: float
+
+
+def classify_new_items(
+    tree: CategoryTree,
+    existing_titles: dict[Item, str],
+    new_titles: dict[Item, str],
+    min_category_size: int = 2,
+) -> list[Placement]:
+    """Suggest a leaf category for each new item by title similarity."""
+    leaf_candidates = [
+        cat
+        for cat in tree.leaves()
+        if len(cat.items) >= min_category_size and cat.label != "C_misc"
+    ]
+    if not leaf_candidates or not new_titles:
+        return []
+
+    all_items = sorted(existing_titles, key=str)
+    new_items = sorted(new_titles, key=str)
+    vectors = tfidf_vectors(
+        [existing_titles[i] for i in all_items]
+        + [new_titles[i] for i in new_items]
+    )
+    vec_of = dict(zip(all_items, vectors[: len(all_items)]))
+    new_vec_of = dict(zip(new_items, vectors[len(all_items):]))
+
+    centroids = {}
+    for cat in leaf_candidates:
+        members = [vec_of[i] for i in cat.items if i in vec_of]
+        if members:
+            centroids[cat.cid] = (cat, _centroid(members))
+
+    placements = []
+    for item in new_items:
+        vec = new_vec_of[item]
+        best_sim, best_cat = -1.0, None
+        for cat, centroid in centroids.values():
+            sim = _cosine(vec, centroid)
+            if sim > best_sim:
+                best_sim, best_cat = sim, cat
+        if best_cat is not None:
+            placements.append(
+                Placement(
+                    item=item,
+                    cid=best_cat.cid,
+                    category_label=best_cat.label or f"C{best_cat.cid}",
+                    similarity=best_sim,
+                )
+            )
+    return placements
+
+
+def apply_placements(
+    tree: CategoryTree, placements: list[Placement]
+) -> None:
+    """Insert the suggested items into the tree (with upward closure)."""
+    by_cid = {cat.cid: cat for cat in tree.categories()}
+    for placement in placements:
+        tree.assign_item(by_cid[placement.cid], placement.item)

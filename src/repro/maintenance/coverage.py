@@ -1,0 +1,142 @@
+"""Coverage analysis and the rescue workflow (paper Sections 3.1, 5.4).
+
+When input sets stay uncovered, the paper's practical remedy is to
+*reemploy the algorithm with reduced thresholds for uncovered queries* —
+underrepresented categories (e.g. seasonal collectibles) get their
+weights raised and thresholds lowered, and items appearing only in
+uncovered queries are surfaced for a dedicated category.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algorithms.base import TreeBuilder
+from repro.core.input_sets import InputSet, OCTInstance
+from repro.core.scoring import ScoreReport, score_tree
+from repro.core.tree import CategoryTree
+from repro.core.variants import Variant
+
+MIN_THRESHOLD = 0.05
+
+
+def uncovered_sets(
+    instance: OCTInstance, report: ScoreReport
+) -> list[InputSet]:
+    """The input sets the tree failed to cover, heaviest first."""
+    missed = [
+        instance.get(sid)
+        for sid, entry in report.per_set.items()
+        if not entry.covered
+    ]
+    missed.sort(key=lambda q: -q.weight)
+    return missed
+
+
+def orphaned_items(instance: OCTInstance, report: ScoreReport) -> set:
+    """Items appearing only in uncovered sets.
+
+    These end up in ``C_misc``; many orphans sharing one query signal
+    the need for a dedicated category (the paper lowers that query's
+    threshold and reruns).
+    """
+    covered_items: set = set()
+    for q in instance:
+        if report.per_set[q.sid].covered:
+            covered_items |= q.items
+    orphans: set = set()
+    for q in instance:
+        if not report.per_set[q.sid].covered:
+            orphans |= q.items - covered_items
+    return orphans
+
+
+def lower_uncovered_thresholds(
+    instance: OCTInstance,
+    report: ScoreReport,
+    variant: Variant,
+    factor: float = 0.8,
+    weight_boost: float = 1.0,
+) -> OCTInstance:
+    """A new instance with relaxed thresholds for the uncovered sets.
+
+    Each uncovered set's effective threshold is multiplied by ``factor``
+    (floored at a small minimum); its weight is multiplied by
+    ``weight_boost``. Covered sets keep their parameters.
+    """
+    if not 0.0 < factor < 1.0:
+        raise ValueError("factor must be in (0, 1)")
+    adjusted = []
+    for q in instance:
+        if report.per_set[q.sid].covered:
+            adjusted.append(q)
+            continue
+        current = instance.effective_threshold(q, variant.delta)
+        adjusted.append(
+            InputSet(
+                sid=q.sid,
+                items=q.items,
+                weight=q.weight * weight_boost,
+                threshold=max(MIN_THRESHOLD, current * factor),
+                label=q.label,
+                source=q.source,
+            )
+        )
+    return OCTInstance(
+        adjusted,
+        universe=instance.universe,
+        default_bound=instance.default_bound,
+    )
+
+
+@dataclass
+class RescueResult:
+    """Outcome of the iterative rescue workflow."""
+
+    tree: CategoryTree
+    report: ScoreReport
+    instance: OCTInstance
+    rounds_used: int
+    initially_uncovered: int
+    finally_uncovered: int
+
+
+def rescue_uncovered(
+    builder: TreeBuilder,
+    instance: OCTInstance,
+    variant: Variant,
+    factor: float = 0.8,
+    weight_boost: float = 1.5,
+    max_rounds: int = 3,
+) -> RescueResult:
+    """Iteratively relax uncovered sets' thresholds and rebuild.
+
+    Stops early once everything is covered or a round stops helping.
+    The returned report is computed against the *adjusted* instance —
+    the relaxed thresholds are the acceptance criteria the taxonomists
+    chose for those sets.
+    """
+    current = instance
+    tree = builder.build(current, variant)
+    report = score_tree(tree, current, variant)
+    initially = len(current) - report.covered_count
+    rounds = 0
+    while rounds < max_rounds and report.covered_count < len(current):
+        relaxed = lower_uncovered_thresholds(
+            current, report, variant, factor=factor, weight_boost=weight_boost
+        )
+        new_tree = builder.build(relaxed, variant)
+        new_report = score_tree(new_tree, relaxed, variant)
+        rounds += 1
+        if new_report.covered_count <= report.covered_count:
+            current = relaxed
+            break
+        current, tree, report = relaxed, new_tree, new_report
+    return RescueResult(
+        tree=tree,
+        report=report,
+        instance=current,
+        rounds_used=rounds,
+        initially_uncovered=initially,
+        finally_uncovered=len(current) - report.covered_count,
+    )

@@ -1,0 +1,93 @@
+"""Misassignment detection (paper Section 5.4, "Identifying errors").
+
+Taxonomists routinely search for suboptimal assignments with a tool that
+flags high pairwise distances between embeddings of items within a
+category — the "Nike Blazer under Blazers" example. This module
+reproduces that tool over TF-IDF title embeddings: an item whose
+similarity to its category's centroid falls far below the category's
+average is reported for manual review.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.core.tree import CategoryTree
+from repro.embeddings.text import tfidf_vectors
+
+Item = Hashable
+
+
+@dataclass(frozen=True)
+class OutlierReport:
+    """One suspicious item assignment."""
+
+    cid: int
+    category_label: str
+    item: Item
+    similarity_to_centroid: float
+    category_average: float
+
+
+def _centroid(vectors: list[dict[str, float]]) -> dict[str, float]:
+    total: dict[str, float] = {}
+    for vec in vectors:
+        for token, value in vec.items():
+            total[token] = total.get(token, 0.0) + value
+    n = len(vectors)
+    return {token: value / n for token, value in total.items()}
+
+
+def _cosine(a: dict[str, float], b: dict[str, float]) -> float:
+    if len(b) < len(a):
+        a, b = b, a
+    dot = sum(value * b.get(token, 0.0) for token, value in a.items())
+    norm_a = sum(v * v for v in a.values()) ** 0.5
+    norm_b = sum(v * v for v in b.values()) ** 0.5
+    if norm_a == 0 or norm_b == 0:
+        return 0.0
+    return dot / (norm_a * norm_b)
+
+
+def detect_misassigned_items(
+    tree: CategoryTree,
+    titles: dict[Item, str],
+    relative_threshold: float = 0.5,
+    min_category_size: int = 4,
+    leaf_only: bool = True,
+) -> list[OutlierReport]:
+    """Flag items far from their category's semantic centroid.
+
+    An item is reported when its centroid similarity is below
+    ``relative_threshold`` times the category's average centroid
+    similarity. Results are sorted most-suspicious first.
+    """
+    item_list = sorted(titles, key=str)
+    vectors = tfidf_vectors([titles[item] for item in item_list])
+    vec_of = dict(zip(item_list, vectors))
+
+    reports: list[OutlierReport] = []
+    categories = tree.leaves() if leaf_only else list(tree.non_root_categories())
+    for cat in categories:
+        members = [item for item in cat.items if item in vec_of]
+        if len(members) < min_category_size:
+            continue
+        centroid = _centroid([vec_of[item] for item in members])
+        sims = {item: _cosine(vec_of[item], centroid) for item in members}
+        average = sum(sims.values()) / len(sims)
+        if average <= 0:
+            continue
+        for item, sim in sims.items():
+            if sim < relative_threshold * average:
+                reports.append(
+                    OutlierReport(
+                        cid=cat.cid,
+                        category_label=cat.label or f"C{cat.cid}",
+                        item=item,
+                        similarity_to_centroid=sim,
+                        category_average=average,
+                    )
+                )
+    reports.sort(key=lambda r: r.similarity_to_centroid)
+    return reports

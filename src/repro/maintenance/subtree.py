@@ -1,0 +1,87 @@
+"""Selective subtree rebuilds (paper Sections 2.3 and 5.4).
+
+"A complementary solution is running the algorithms separately on
+selected subtrees, where changes are desirable." A rebuild restricts the
+instance to the subtree's items, runs any builder on the restriction,
+and grafts the result back in place — leaving the rest of the tree
+untouched, which is what makes updates conservative.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.base import TreeBuilder
+from repro.core.exceptions import InvalidTreeError
+from repro.core.input_sets import InputSet, OCTInstance
+from repro.core.tree import Category, CategoryTree
+from repro.core.variants import Variant
+
+
+def restrict_instance_to_items(
+    instance: OCTInstance,
+    items: frozenset,
+    min_overlap: float = 0.5,
+) -> OCTInstance:
+    """Input sets relevant to a subtree, clipped to its items.
+
+    A set participates when at least ``min_overlap`` of it lies inside
+    the subtree; its items outside the subtree are dropped (they cannot
+    legally appear there).
+    """
+    restricted = []
+    for q in instance:
+        inside = q.items & items
+        if not inside:
+            continue
+        if len(inside) / len(q.items) < min_overlap:
+            continue
+        restricted.append(
+            InputSet(
+                sid=q.sid,
+                items=inside,
+                weight=q.weight,
+                threshold=q.threshold,
+                label=q.label,
+                source=q.source,
+            )
+        )
+    return OCTInstance(
+        restricted,
+        universe=items,
+        default_bound=instance.default_bound,
+    )
+
+
+def rebuild_subtree(
+    tree: CategoryTree,
+    target: Category,
+    instance: OCTInstance,
+    variant: Variant,
+    builder: TreeBuilder,
+    min_overlap: float = 0.5,
+) -> int:
+    """Rebuild one category's subtree in place; returns new child count.
+
+    The target keeps its identity and items; only its descendants are
+    replaced by the builder's output over the restricted instance.
+    """
+    if target.is_root:
+        raise InvalidTreeError(
+            "rebuild the whole tree with the builder directly; "
+            "rebuild_subtree is for proper subtrees"
+        )
+    sub_instance = restrict_instance_to_items(
+        instance, frozenset(target.items), min_overlap=min_overlap
+    )
+    built = builder.build(sub_instance, variant)
+
+    # Detach the old subtree and graft the new one.
+    target.children = []
+    def graft(src: Category, dst_parent: Category) -> None:
+        node = tree.add_category(src.items, parent=dst_parent, label=src.label)
+        node.matched_sids = list(src.matched_sids)
+        for child in src.children:
+            graft(child, node)
+
+    for child in built.root.children:
+        graft(child, target)
+    return len(target.children)

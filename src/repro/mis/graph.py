@@ -1,0 +1,119 @@
+"""Lightweight weighted undirected graphs for the MIS solvers."""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+Vertex = Hashable
+
+
+class WeightedGraph:
+    """Undirected graph with vertex weights, stored as adjacency sets."""
+
+    def __init__(
+        self,
+        vertices: Iterable[Vertex] = (),
+        weights: dict[Vertex, float] | None = None,
+    ) -> None:
+        self.adj: dict[Vertex, set[Vertex]] = {v: set() for v in vertices}
+        self.weights: dict[Vertex, float] = {
+            v: (weights or {}).get(v, 1.0) for v in self.adj
+        }
+
+    @staticmethod
+    def from_edges(
+        vertices: Iterable[Vertex],
+        edges: Iterable[tuple[Vertex, Vertex]],
+        weights: dict[Vertex, float] | None = None,
+    ) -> "WeightedGraph":
+        graph = WeightedGraph(vertices, weights)
+        for a, b in edges:
+            graph.add_edge(a, b)
+        return graph
+
+    def add_vertex(self, v: Vertex, weight: float = 1.0) -> None:
+        if v not in self.adj:
+            self.adj[v] = set()
+            self.weights[v] = weight
+
+    def add_edge(self, a: Vertex, b: Vertex) -> None:
+        if a == b:
+            raise ValueError("self-loops are not allowed in an MIS instance")
+        if a not in self.adj or b not in self.adj:
+            raise KeyError("both endpoints must exist before adding an edge")
+        self.adj[a].add(b)
+        self.adj[b].add(a)
+
+    def remove_vertex(self, v: Vertex) -> None:
+        for u in self.adj.pop(v):
+            self.adj[u].discard(v)
+        del self.weights[v]
+
+    def neighbors(self, v: Vertex) -> set[Vertex]:
+        return self.adj[v]
+
+    def degree(self, v: Vertex) -> int:
+        return len(self.adj[v])
+
+    def __len__(self) -> int:
+        return len(self.adj)
+
+    def __contains__(self, v: Vertex) -> bool:
+        return v in self.adj
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(n) for n in self.adj.values()) // 2
+
+    def vertices(self) -> list[Vertex]:
+        return list(self.adj)
+
+    def edges(self) -> list[tuple[Vertex, Vertex]]:
+        seen: set[frozenset] = set()
+        result = []
+        for a, nbrs in self.adj.items():
+            for b in nbrs:
+                key = frozenset((a, b))
+                if key not in seen:
+                    seen.add(key)
+                    result.append((a, b))
+        return result
+
+    def subgraph(self, keep: Iterable[Vertex]) -> "WeightedGraph":
+        keep_set = set(keep)
+        sub = WeightedGraph(keep_set, self.weights)
+        for v in keep_set:
+            sub.adj[v] = self.adj[v] & keep_set
+        return sub
+
+    def copy(self) -> "WeightedGraph":
+        clone = WeightedGraph(self.adj, self.weights)
+        for v in self.adj:
+            clone.adj[v] = set(self.adj[v])
+        return clone
+
+    def connected_components(self) -> list[set[Vertex]]:
+        """Vertex sets of the connected components (BFS)."""
+        unseen = set(self.adj)
+        components = []
+        while unseen:
+            start = next(iter(unseen))
+            component = {start}
+            frontier = [start]
+            unseen.remove(start)
+            while frontier:
+                v = frontier.pop()
+                for u in self.adj[v]:
+                    if u in unseen:
+                        unseen.remove(u)
+                        component.add(u)
+                        frontier.append(u)
+            components.append(component)
+        return components
+
+    def is_independent_set(self, selected: Iterable[Vertex]) -> bool:
+        chosen = set(selected)
+        return all(not (self.adj[v] & chosen) for v in chosen)
+
+    def weight_of(self, selected: Iterable[Vertex]) -> float:
+        return sum(self.weights[v] for v in selected)

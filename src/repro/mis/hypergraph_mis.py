@@ -1,0 +1,205 @@
+"""Weighted independent set on hypergraphs with edges of size 2 and 3.
+
+An independent set of a hypergraph selects vertices so that no hyperedge
+is *fully* contained in the selection (partial overlap is allowed). This
+matches the conflict-hypergraph semantics: a 3-conflict only forbids
+choosing all three sets simultaneously.
+
+Following the paper's reference to partitioning-based algorithms for
+sparse bounded-degree hypergraphs (Halldórsson–Losievskaja), the solver
+partitions the instance into connected components and solves each small
+component exactly by branch-and-bound, falling back to a greedy +
+add-move heuristic for components that exhaust the node budget.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable
+
+from repro.mis.exact import BudgetExceededError
+
+Vertex = Hashable
+
+
+@dataclass
+class WeightedHypergraph:
+    """Vertices with weights plus hyperedges of size 2 or 3."""
+
+    vertices: list[Vertex]
+    weights: dict[Vertex, float]
+    edges: list[frozenset] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        for edge in self.edges:
+            if not 2 <= len(edge) <= 3:
+                raise ValueError(f"hyperedge size must be 2 or 3: {set(edge)}")
+
+    def is_independent(self, selected: set[Vertex]) -> bool:
+        return all(not edge <= selected for edge in self.edges)
+
+    def weight_of(self, selected: Iterable[Vertex]) -> float:
+        return sum(self.weights[v] for v in selected)
+
+    def incidence(self) -> dict[Vertex, list[int]]:
+        """Vertex -> indices of the edges containing it."""
+        inc: dict[Vertex, list[int]] = {v: [] for v in self.vertices}
+        for i, edge in enumerate(self.edges):
+            for v in edge:
+                inc[v].append(i)
+        return inc
+
+    def connected_components(self) -> list[set[Vertex]]:
+        """Components of the bipartite vertex/edge incidence structure."""
+        parent: dict[Vertex, Vertex] = {v: v for v in self.vertices}
+
+        def find(v: Vertex) -> Vertex:
+            while parent[v] != v:
+                parent[v] = parent[parent[v]]
+                v = parent[v]
+            return v
+
+        for edge in self.edges:
+            members = list(edge)
+            root = find(members[0])
+            for other in members[1:]:
+                parent[find(other)] = root
+        groups: dict[Vertex, set[Vertex]] = {}
+        for v in self.vertices:
+            groups.setdefault(find(v), set()).add(v)
+        return list(groups.values())
+
+
+class _HyperBranchAndBound:
+    def __init__(self, hg: WeightedHypergraph, node_budget: int) -> None:
+        self.hg = hg
+        self.node_budget = node_budget
+        self.nodes_used = 0
+        # Order heaviest-first so good solutions appear early.
+        self.order = sorted(
+            hg.vertices, key=lambda v: (-hg.weights[v], str(v))
+        )
+        self.suffix = [0.0] * (len(self.order) + 1)
+        for i in range(len(self.order) - 1, -1, -1):
+            self.suffix[i] = self.suffix[i + 1] + max(
+                0.0, hg.weights[self.order[i]]
+            )
+        self.incidence = hg.incidence()
+        self.chosen_count = [0] * len(hg.edges)
+        self.excluded_count = [0] * len(hg.edges)
+        self.best_weight = -1.0
+        self.best_set: set[Vertex] = set()
+        self.current: set[Vertex] = set()
+        self.current_weight = 0.0
+
+    def solve(self) -> set[Vertex]:
+        self._recurse(0)
+        return self.best_set
+
+    def _recurse(self, index: int) -> None:
+        self.nodes_used += 1
+        if self.nodes_used > self.node_budget:
+            raise BudgetExceededError(
+                f"hypergraph MIS exceeded {self.node_budget} nodes"
+            )
+        if self.current_weight > self.best_weight:
+            self.best_weight = self.current_weight
+            self.best_set = set(self.current)
+        if index == len(self.order):
+            return
+        if self.current_weight + self.suffix[index] <= self.best_weight:
+            return
+        v = self.order[index]
+
+        # Branch 1: choose v, unless that fully selects some edge.
+        violating = any(
+            self.chosen_count[e] == len(self.hg.edges[e]) - 1
+            and self.excluded_count[e] == 0
+            for e in self.incidence[v]
+        )
+        if not violating:
+            self.current.add(v)
+            self.current_weight += self.hg.weights[v]
+            for e in self.incidence[v]:
+                self.chosen_count[e] += 1
+            self._recurse(index + 1)
+            self.current.remove(v)
+            self.current_weight -= self.hg.weights[v]
+            for e in self.incidence[v]:
+                self.chosen_count[e] -= 1
+
+        # Branch 2: exclude v.
+        for e in self.incidence[v]:
+            self.excluded_count[e] += 1
+        self._recurse(index + 1)
+        for e in self.incidence[v]:
+            self.excluded_count[e] -= 1
+
+
+def greedy_hypergraph_mis(hg: WeightedHypergraph) -> set[Vertex]:
+    """Heaviest-first greedy construction with a final add-move pass."""
+    incidence = hg.incidence()
+    order = sorted(
+        hg.vertices,
+        key=lambda v: (
+            -hg.weights[v] / (len(incidence[v]) + 1),
+            str(v),
+        ),
+    )
+    chosen: set[Vertex] = set()
+    for v in order:
+        ok = all(
+            not (hg.edges[e] - {v}) <= chosen for e in incidence[v]
+        )
+        if ok:
+            chosen.add(v)
+    # Add-move pass in raw-weight order (some light vertices may now fit).
+    for v in sorted(hg.vertices, key=lambda v: (-hg.weights[v], str(v))):
+        if v in chosen:
+            continue
+        if all(not (hg.edges[e] - {v}) <= chosen for e in incidence[v]):
+            chosen.add(v)
+    return chosen
+
+
+def _subhypergraph(
+    hg: WeightedHypergraph, keep: set[Vertex]
+) -> WeightedHypergraph:
+    return WeightedHypergraph(
+        vertices=[v for v in hg.vertices if v in keep],
+        weights={v: hg.weights[v] for v in keep},
+        edges=[e for e in hg.edges if e <= keep],
+    )
+
+
+def solve_hypergraph_mis(
+    hg: WeightedHypergraph,
+    node_budget: int = 500_000,
+    exact: bool = True,
+    max_exact_component: int = 2000,
+) -> set[Vertex]:
+    """Partition into components; solve each exactly, greedy on overflow."""
+    needed_depth = len(hg.vertices) + 100
+    if sys.getrecursionlimit() < needed_depth:
+        sys.setrecursionlimit(needed_depth)
+    solution: set[Vertex] = set()
+    remaining = node_budget
+    for component in sorted(hg.connected_components(), key=len):
+        sub = _subhypergraph(hg, component)
+        if not sub.edges:
+            solution |= component
+            continue
+        attempt_exact = (
+            exact and remaining > 0 and len(component) <= max_exact_component
+        )
+        if attempt_exact:
+            solver = _HyperBranchAndBound(sub, remaining)
+            try:
+                solution |= solver.solve()
+                remaining -= solver.nodes_used
+                continue
+            except BudgetExceededError:
+                remaining = 0
+        solution |= greedy_hypergraph_mis(sub)
+    return solution

@@ -1,0 +1,210 @@
+"""Kernelization reductions for maximum-weight independent set.
+
+These are the classic weighted reductions used by practical MWIS solvers
+(Lamm et al., ALENEX'19 — the solver the paper's CTCR employs):
+
+* **isolated vertex** — a vertex with no neighbours is always taken;
+* **neighbourhood removal** — a vertex at least as heavy as its whole
+  neighbourhood is always taken;
+* **domination** — if ``N[u] ⊆ N[v]`` and ``w(v) ≤ w(u)`` then some
+  optimal solution avoids ``v``, so ``v`` is removed;
+* **weighted degree-1 fold** — a pendant vertex ``v`` with neighbour
+  ``u``: when ``w(v) ≥ w(u)``, take ``v``; otherwise remove ``v`` and
+  charge its weight to ``u`` (``w(u) -= w(v)``), remembering that ``v``
+  re-enters the solution whenever ``u`` is left out;
+* **twins** — non-adjacent vertices with identical neighbourhoods are
+  always taken together or not at all, so they merge into one vertex
+  carrying the combined weight;
+* **simplicial vertex** — when ``N(v)`` is a clique and ``w(v)`` is at
+  least every neighbour's weight, some optimal solution takes ``v``
+  (at most one clique member can be chosen; swapping it for ``v`` never
+  loses weight);
+* **weighted degree-2 fold** — a vertex ``v`` with non-adjacent
+  neighbours ``u, x`` where ``max(w(u), w(x)) ≤ w(v) < w(u) + w(x)``
+  folds the triple into a synthetic vertex of weight
+  ``w(u) + w(x) − w(v)`` adjacent to ``N(u) ∪ N(x) \\ {v}``: choosing the
+  synthetic vertex later means "take u and x", not choosing it means
+  "take v".
+
+Reductions shrink the conflict graphs dramatically (they are sparse in
+practice, per the paper), letting the exact branch-and-bound finish.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mis.graph import Vertex, WeightedGraph
+
+
+@dataclass
+class ReductionResult:
+    """Outcome of kernelizing a graph.
+
+    ``kernel`` is the reduced graph; ``chosen`` vertices are already in
+    the solution; ``folds`` is a replay stack of ``(pendant, neighbour)``
+    pairs, applied last-to-first by :func:`expand_solution`.
+    """
+
+    kernel: WeightedGraph
+    chosen: set[Vertex] = field(default_factory=set)
+    offset: float = 0.0
+    # Chronological replay log. A ("fold", pendant, neighbour) event puts
+    # the pendant in the solution when the neighbour stays out; a
+    # ("twin", absorbed, survivor) event puts the absorbed vertex in
+    # whenever the survivor is in; a ("fold2", (v, u, x), synthetic)
+    # event resolves to {u, x} when the synthetic vertex was chosen and
+    # to {v} otherwise. Replayed in reverse by :func:`expand_solution` —
+    # the order matters because one event's subject may be another's
+    # object.
+    events: list[tuple] = field(default_factory=list)
+
+    @property
+    def folds(self) -> list[tuple[Vertex, Vertex]]:
+        """Fold events (pendant, neighbour), chronological."""
+        return [(a, b) for kind, a, b in self.events if kind == "fold"]
+
+    @property
+    def twins(self) -> list[tuple[Vertex, Vertex]]:
+        """Twin events (absorbed, survivor), chronological."""
+        return [(a, b) for kind, a, b in self.events if kind == "twin"]
+
+
+def reduce_graph(graph: WeightedGraph) -> ReductionResult:
+    """Exhaustively apply all reductions; the input graph is not mutated."""
+    g = graph.copy()
+    result = ReductionResult(kernel=g)
+    dirty = set(g.vertices())
+    fold2_counter = 0
+    while dirty:
+        v = dirty.pop()
+        if v not in g:
+            continue
+        neighbors = g.neighbors(v)
+        weight = g.weights[v]
+
+        # Isolated vertex / neighbourhood removal.
+        if weight >= sum(g.weights[u] for u in neighbors):
+            result.chosen.add(v)
+            result.offset += weight
+            affected = set()
+            for u in list(neighbors):
+                affected |= g.neighbors(u)
+            g.remove_vertex(v)
+            for u in list(neighbors):
+                if u in g:
+                    g.remove_vertex(u)
+            dirty |= {u for u in affected if u in g.adj}
+            continue
+
+        # Weighted degree-1 fold (the heavy-pendant case was handled
+        # above by neighbourhood removal).
+        if len(neighbors) == 1:
+            (u,) = neighbors
+            result.events.append(("fold", v, u))
+            result.offset += weight
+            g.weights[u] -= weight
+            g.remove_vertex(v)
+            dirty.add(u)
+            dirty |= g.neighbors(u)
+            continue
+
+        # Weighted degree-2 fold: non-adjacent neighbours u, x with
+        # max(w(u), w(x)) <= w(v) < w(u) + w(x) fold into one synthetic
+        # vertex of weight w(u) + w(x) - w(v).
+        if len(neighbors) == 2:
+            u, x = tuple(neighbors)
+            non_adjacent = u not in g.neighbors(x)
+            wu, wx = g.weights[u], g.weights[x]
+            if non_adjacent and max(wu, wx) <= weight < wu + wx:
+                synthetic = ("__fold2__", fold2_counter)
+                fold2_counter += 1
+                merged_neighbors = (g.neighbors(u) | g.neighbors(x)) - {v}
+                g.add_vertex(synthetic, wu + wx - weight)
+                for n in merged_neighbors:
+                    g.add_edge(synthetic, n)
+                result.events.append(("fold2", (v, u, x), synthetic))
+                result.offset += weight
+                for gone in (v, u, x):
+                    g.remove_vertex(gone)
+                dirty.add(synthetic)
+                dirty |= {n for n in merged_neighbors if n in g.adj}
+                continue
+
+        # Simplicial vertex: the neighbourhood is a clique and v is its
+        # heaviest member -> take v.
+        if neighbors and weight >= max(g.weights[u] for u in neighbors):
+            is_clique = all(
+                (neighbors - {u} - g.neighbors(u)) == set()
+                for u in neighbors
+            )
+            if is_clique:
+                result.chosen.add(v)
+                result.offset += weight
+                affected = set()
+                for u in list(neighbors):
+                    affected |= g.neighbors(u)
+                g.remove_vertex(v)
+                for u in list(neighbors):
+                    if u in g:
+                        g.remove_vertex(u)
+                dirty |= {u for u in affected if u in g.adj}
+                continue
+
+        # Twins: a non-adjacent vertex with the same neighbourhood merges
+        # into v, combining weights.
+        twin = None
+        if neighbors:
+            probe = next(iter(neighbors))
+            for u in g.neighbors(probe):
+                if u != v and u not in neighbors and g.neighbors(u) == neighbors:
+                    twin = u
+                    break
+        if twin is not None:
+            result.events.append(("twin", twin, v))
+            g.weights[v] += g.weights[twin]
+            g.remove_vertex(twin)
+            dirty.add(v)
+            dirty |= set(neighbors)
+            continue
+
+        # Domination: v removable if a neighbour u dominates it.
+        closed_v = neighbors | {v}
+        dominated = False
+        for u in neighbors:
+            if g.weights[u] >= weight and (g.neighbors(u) | {u}) <= closed_v:
+                dominated = True
+                break
+        if dominated:
+            affected = set(neighbors)
+            g.remove_vertex(v)
+            dirty |= {u for u in affected if u in g.adj}
+    return result
+
+
+def expand_solution(
+    result: ReductionResult, kernel_solution: set[Vertex]
+) -> set[Vertex]:
+    """Lift a kernel solution back to the original graph.
+
+    Events replay in reverse chronological order: a folded pendant joins
+    exactly when its neighbour stayed out; an absorbed twin joins exactly
+    when its survivor did.
+    """
+    solution = set(kernel_solution) | set(result.chosen)
+    for kind, subject, anchor in reversed(result.events):
+        if kind == "fold":
+            if anchor not in solution:
+                solution.add(subject)
+        elif kind == "twin":
+            if anchor in solution:
+                solution.add(subject)
+        else:  # fold2: subject is (v, u, x), anchor the synthetic vertex
+            v, u, x = subject
+            if anchor in solution:
+                solution.discard(anchor)
+                solution.add(u)
+                solution.add(x)
+            else:
+                solution.add(v)
+    return solution

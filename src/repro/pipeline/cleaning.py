@@ -1,0 +1,102 @@
+"""Query-set cleaning (paper Section 5.1, "Cleaning the query set").
+
+Two filters: (1) frequency — only queries submitted at least ``X`` times
+a day *consecutively* over the whole window are demand-indicative;
+(2) scatter — queries whose result sets spread over more than
+``max_branches`` branches of the existing tree are not indicative of one
+unifying category (fewer than 1% of real queries). Empty or tiny result
+sets are dropped alongside, which is what eliminates incoherent queries
+in practice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.catalog.queries import QueryLog, RawQuery
+from repro.core.tree import CategoryTree
+from repro.search.engine import SearchEngine
+
+
+@dataclass(frozen=True)
+class CleaningConfig:
+    """Thresholds for the cleaning filters.
+
+    ``min_daily_count`` is the paper's confidential ``X``;
+    ``branch_depth`` selects the tree level at which branches are
+    counted (1 = the root's children, i.e. top-level departments).
+    """
+
+    min_daily_count: int = 1
+    max_branches: int = 10
+    branch_depth: int = 1
+    min_result_size: int = 2
+
+
+def frequency_filter(
+    queries: list[RawQuery],
+    min_daily_count: int,
+    window: int | None = None,
+) -> list[RawQuery]:
+    """Keep queries submitted at least ``min_daily_count`` times every day.
+
+    With ``window`` set, only the last ``window`` days must clear the
+    bar — the recency skew that lets platforms capitalize on short-lived
+    trends (paper Section 5.1) instead of demanding 90 consecutive days.
+    """
+    def min_over_window(q: RawQuery) -> int:
+        counts = q.daily_counts if window is None else q.daily_counts[-window:]
+        return min(counts) if counts else 0
+
+    return [q for q in queries if min_over_window(q) >= min_daily_count]
+
+
+def branch_spread(
+    items: frozenset, tree: CategoryTree, depth: int
+) -> int:
+    """Number of depth-``depth`` branches of ``tree`` containing the items."""
+    touched = set()
+    for cat in tree.categories():
+        if cat.depth != depth:
+            continue
+        if not items.isdisjoint(cat.items):
+            touched.add(cat.cid)
+    return len(touched)
+
+
+def scatter_filter(
+    queries: list[RawQuery],
+    engine: SearchEngine,
+    existing_tree: CategoryTree,
+    relevance_threshold: float,
+    config: CleaningConfig,
+) -> list[RawQuery]:
+    """Drop queries with scattered or degenerate result sets."""
+    kept = []
+    for q in queries:
+        result = engine.result_set(q.text, relevance_threshold)
+        if len(result) < config.min_result_size:
+            continue
+        spread = branch_spread(result, existing_tree, config.branch_depth)
+        if spread > config.max_branches:
+            continue
+        kept.append(q)
+    return kept
+
+
+def clean_queries(
+    log: QueryLog,
+    engine: SearchEngine,
+    existing_tree: CategoryTree,
+    relevance_threshold: float,
+    config: CleaningConfig | None = None,
+    window: int | None = None,
+) -> list[RawQuery]:
+    """Both cleaning filters in the paper's order."""
+    config = config or CleaningConfig()
+    frequent = frequency_filter(
+        log.queries, config.min_daily_count, window=window
+    )
+    return scatter_filter(
+        frequent, engine, existing_tree, relevance_threshold, config
+    )

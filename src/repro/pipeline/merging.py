@@ -1,0 +1,98 @@
+"""Merging similar queries (paper Section 5.1, "Merging similar queries").
+
+Every two result sets whose similarity lies in
+``[delta + 3/4 * (1 - delta), 1]`` are merged into a single candidate
+whose weight is the combined weight — the optimization that more than
+halved the XYZ query counts with unchanged-or-better scores. Merging is
+transitive (union-find over the high-similarity pairs); a merged group
+keeps the label of its heaviest member and the union of the items.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.similarity import raw_similarity_from_sizes
+from repro.core.variants import Variant
+from repro.pipeline.result_sets import QueryResultSet
+
+
+def merge_similarity_bound(delta: float) -> float:
+    """The lower end of the paper's merge band."""
+    return delta + 0.75 * (1.0 - delta)
+
+
+@dataclass(frozen=True)
+class MergedQuery:
+    """A merged candidate: union of items, summed weight."""
+
+    text: str
+    items: frozenset
+    weight: float
+    merged_texts: tuple[str, ...]
+
+
+class _UnionFind:
+    def __init__(self, n: int) -> None:
+        self.parent = list(range(n))
+
+    def find(self, a: int) -> int:
+        while self.parent[a] != a:
+            self.parent[a] = self.parent[self.parent[a]]
+            a = self.parent[a]
+        return a
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[max(ra, rb)] = min(ra, rb)
+
+
+def merge_similar_queries(
+    results: list[QueryResultSet],
+    weights: list[float],
+    variant: Variant,
+) -> list[MergedQuery]:
+    """Collapse near-duplicate result sets transitively."""
+    bound = merge_similarity_bound(variant.delta)
+    uf = _UnionFind(len(results))
+
+    # Candidate pairs through the item -> queries inverted index.
+    containing: dict = {}
+    for idx, r in enumerate(results):
+        for item in r.items:
+            containing.setdefault(item, []).append(idx)
+    pair_inter: dict[tuple[int, int], int] = {}
+    for indices in containing.values():
+        for i, a in enumerate(indices):
+            for b in indices[i + 1 :]:
+                key = (a, b)
+                pair_inter[key] = pair_inter.get(key, 0) + 1
+    for (a, b), inter in pair_inter.items():
+        sim = raw_similarity_from_sizes(
+            variant.kind, len(results[a].items), len(results[b].items), inter
+        )
+        if sim >= bound - 1e-12:
+            uf.union(a, b)
+
+    groups: dict[int, list[int]] = {}
+    for idx in range(len(results)):
+        groups.setdefault(uf.find(idx), []).append(idx)
+
+    merged = []
+    for members in groups.values():
+        items: frozenset = frozenset()
+        for idx in members:
+            items |= results[idx].items
+        weight = sum(weights[idx] for idx in members)
+        heaviest = max(members, key=lambda idx: (weights[idx], -idx))
+        merged.append(
+            MergedQuery(
+                text=results[heaviest].text,
+                items=items,
+                weight=weight,
+                merged_texts=tuple(results[idx].text for idx in members),
+            )
+        )
+    merged.sort(key=lambda m: m.text)
+    return merged

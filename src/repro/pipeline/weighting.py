@@ -1,0 +1,33 @@
+"""Weight assignment (paper Section 5.1, "Assigning weights").
+
+A query's weight is its average daily submission count over the window;
+public datasets with no frequency data get uniform weight 1. Weights may
+also be skewed towards a recent sub-window to surface short-lived trends.
+"""
+
+from __future__ import annotations
+
+from repro.catalog.queries import QueryLog
+from repro.pipeline.result_sets import QueryResultSet
+
+
+def frequency_weights(results: list[QueryResultSet]) -> list[float]:
+    """Average searches per day, the paper's default weighting."""
+    return [r.mean_daily for r in results]
+
+
+def uniform_weights(results: list[QueryResultSet]) -> list[float]:
+    """All-ones weighting for public datasets without frequency data."""
+    return [1.0] * len(results)
+
+
+def recent_window_weights(
+    results: list[QueryResultSet], log: QueryLog, window: int
+) -> list[float]:
+    """Weights from only the last ``window`` days of the log.
+
+    Queries absent from the log (e.g. merged away) fall back to their
+    full-window mean.
+    """
+    recent = log.recent_weighted(window)
+    return [recent.get(r.text, r.mean_daily) for r in results]

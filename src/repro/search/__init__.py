@@ -1,0 +1,13 @@
+"""Search-engine substrate: analyzer, inverted index, relevance scoring."""
+
+from repro.search.analyzer import STOPWORDS, tokenize
+from repro.search.engine import SearchEngine, SearchHit
+from repro.search.index import InvertedIndex
+
+__all__ = [
+    "InvertedIndex",
+    "STOPWORDS",
+    "SearchEngine",
+    "SearchHit",
+    "tokenize",
+]

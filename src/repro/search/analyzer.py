@@ -1,0 +1,37 @@
+"""Text analysis for the search-engine substrate."""
+
+from __future__ import annotations
+
+import re
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+")
+
+# A minimal stop list; product titles are short so aggressive stopping
+# would hurt more than help.
+STOPWORDS = frozenset(
+    {"a", "an", "and", "for", "in", "of", "on", "or", "the", "to", "with"}
+)
+
+
+def light_stem(token: str) -> str:
+    """Strip a trailing plural 's' from long tokens ("shirts" -> "shirt").
+
+    Deliberately conservative: short tokens and "-ss" endings are left
+    alone, which is enough for plural query variants to retrieve the
+    same items as their singular form.
+    """
+    if len(token) > 3 and token.endswith("s") and not token.endswith("ss"):
+        return token[:-1]
+    return token
+
+
+def tokenize(text: str, drop_stopwords: bool = True) -> list[str]:
+    """Lowercase alphanumeric tokens, lightly stemmed, minus stopwords.
+
+    >>> tokenize("Black NIKE T-Shirts for Men")
+    ['black', 'nike', 't', 'shirt', 'men']
+    """
+    tokens = _TOKEN_RE.findall(text.lower())
+    if drop_stopwords:
+        tokens = [t for t in tokens if t not in STOPWORDS]
+    return [light_stem(t) for t in tokens]

@@ -1,0 +1,51 @@
+"""Inverted index with TF-IDF document vectors.
+
+This is the offline stand-in for the platform search engine (and for the
+Elasticsearch setup the paper uses for its public dataset E): documents
+are product titles, and queries return relevance scores in [0, 1].
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable
+
+from repro.search.analyzer import tokenize
+
+DocId = Hashable
+
+
+class InvertedIndex:
+    """Token -> posting-list index over short documents."""
+
+    def __init__(self) -> None:
+        self.postings: dict[str, dict[DocId, int]] = {}
+        self.doc_lengths: dict[DocId, int] = {}
+
+    def add(self, doc_id: DocId, text: str) -> None:
+        if doc_id in self.doc_lengths:
+            raise ValueError(f"document {doc_id!r} already indexed")
+        tokens = tokenize(text)
+        self.doc_lengths[doc_id] = len(tokens)
+        for token in tokens:
+            bucket = self.postings.setdefault(token, {})
+            bucket[doc_id] = bucket.get(doc_id, 0) + 1
+
+    def __len__(self) -> int:
+        return len(self.doc_lengths)
+
+    def document_frequency(self, token: str) -> int:
+        return len(self.postings.get(token, ()))
+
+    def idf(self, token: str) -> float:
+        """Smoothed inverse document frequency."""
+        n = len(self.doc_lengths)
+        df = self.document_frequency(token)
+        return math.log(1.0 + n / (1.0 + df))
+
+    def candidates(self, tokens: list[str]) -> set[DocId]:
+        """Documents containing at least one query token."""
+        result: set[DocId] = set()
+        for token in tokens:
+            result |= self.postings.get(token, {}).keys()
+        return result

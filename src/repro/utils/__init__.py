@@ -1,0 +1,7 @@
+"""Small shared utilities: parallel mapping, seeded RNG, timing."""
+
+from repro.utils.parallel import parallel_map
+from repro.utils.rng import make_rng
+from repro.utils.timer import Timer
+
+__all__ = ["Timer", "make_rng", "parallel_map"]

@@ -1,0 +1,64 @@
+"""Parallel mapping helper.
+
+The paper notes that CTCR is highly parallelizable: all 2-conflicts are
+computed in parallel, as are per-category cover scores in the item
+assignment phase. :func:`parallel_map` is the single switch point — with
+``n_jobs=1`` (the default) everything runs serially and deterministically,
+while ``n_jobs>1`` fans chunks out to a process pool.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def resolve_jobs(n_jobs: int) -> int:
+    """Normalize an ``n_jobs`` request: ``-1`` means all CPUs."""
+    if n_jobs == -1:
+        return os.cpu_count() or 1
+    if n_jobs < 1:
+        raise ValueError(f"n_jobs must be >= 1 or -1, got {n_jobs}")
+    return n_jobs
+
+
+def chunked(seq: Sequence[T], n_chunks: int) -> list[list[T]]:
+    """Split a sequence into at most ``n_chunks`` contiguous chunks."""
+    if not seq:
+        return []
+    n_chunks = max(1, min(n_chunks, len(seq)))
+    size, extra = divmod(len(seq), n_chunks)
+    chunks: list[list[T]] = []
+    start = 0
+    for i in range(n_chunks):
+        end = start + size + (1 if i < extra else 0)
+        chunks.append(list(seq[start:end]))
+        start = end
+    return chunks
+
+
+def parallel_map(
+    fn: Callable[[list[T]], list[R]],
+    items: Sequence[T],
+    n_jobs: int = 1,
+) -> list[R]:
+    """Apply a chunk-level function over ``items``, preserving order.
+
+    ``fn`` receives a chunk (list) of items and returns a list of results;
+    chunk results are concatenated in order, so the output is identical
+    for any ``n_jobs``. ``fn`` must be picklable (a module-level function)
+    when ``n_jobs > 1``.
+    """
+    n_jobs = resolve_jobs(n_jobs)
+    if n_jobs == 1 or len(items) <= 1:
+        return fn(list(items))
+    chunks = chunked(items, n_jobs * 4)
+    results: list[R] = []
+    with ProcessPoolExecutor(max_workers=n_jobs) as pool:
+        for part in pool.map(fn, chunks):
+            results.extend(part)
+    return results

@@ -1,0 +1,63 @@
+"""Shared fixtures: paper examples and small synthetic datasets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog import load_dataset
+from repro.core import OCTInstance, Variant, make_instance
+
+
+@pytest.fixture(scope="session")
+def figure2_instance() -> OCTInstance:
+    """The paper's Figure 2 input.
+
+    q1 = {a,b,c,d,e} (w=2, "black shirt"), q2 = {a,b} (w=1,
+    "black adidas shirt"), q3 = {c,d,e,f} (w=1, "nike shirt"),
+    q4 = {a,b,f,g,h} (w=1, "long sleeve shirt").
+    """
+    return make_instance(
+        [
+            {"a", "b", "c", "d", "e"},
+            {"a", "b"},
+            {"c", "d", "e", "f"},
+            {"a", "b", "f", "g", "h"},
+        ],
+        weights=[2.0, 1.0, 1.0, 1.0],
+        labels=["black shirt", "black adidas shirt", "nike shirt", "long sleeve shirt"],
+    )
+
+
+@pytest.fixture(scope="session")
+def example32_instance() -> OCTInstance:
+    """Example 3.2: q1 = {a,c,d,e,f}, q2 = {a,b}, q3 = {b,g,h}."""
+    return make_instance(
+        [{"a", "c", "d", "e", "f"}, {"a", "b"}, {"b", "g", "h"}],
+        weights=[3.0, 1.0, 2.0],
+    )
+
+
+@pytest.fixture(scope="session")
+def all_variants() -> list[Variant]:
+    return [
+        Variant.exact(),
+        Variant.perfect_recall(0.8),
+        Variant.perfect_recall(0.5),
+        Variant.threshold_jaccard(0.8),
+        Variant.threshold_jaccard(0.6),
+        Variant.cutoff_jaccard(0.7),
+        Variant.threshold_f1(0.8),
+        Variant.cutoff_f1(0.7),
+    ]
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """A very small dataset A for integration tests."""
+    return load_dataset("A", scale=0.01, seed=7)
+
+
+@pytest.fixture(scope="session")
+def dataset_a():
+    """Dataset A at its default repro scale (cached per session)."""
+    return load_dataset("A", seed=3)

@@ -1,0 +1,145 @@
+"""Tests for Algorithm 2: cover gaps, gain factors, duplicate placement."""
+
+import math
+
+from repro.algorithms.assignment import (
+    assign_safe_items,
+    cover_gap,
+)
+from repro.algorithms.base import BuildContext, chain_deepest, is_on_same_branch
+from repro.core import CategoryTree, Variant, make_instance
+from repro.core.similarity import variant_score
+
+
+def make_ctx(instance, variant) -> BuildContext:
+    tree = CategoryTree()
+    ctx = BuildContext(tree=tree, instance=instance, variant=variant)
+    for q in instance:
+        cat = tree.add_category((), label=q.label or f"q{q.sid}")
+        ctx.designated[q.sid] = cat
+        ctx.target_sets[cat.cid] = q.items
+    return ctx
+
+
+class TestBranchHelpers:
+    def test_is_on_same_branch(self):
+        tree = CategoryTree()
+        a = tree.add_category({"x"})
+        b = tree.add_category({"y"}, parent=a)
+        c = tree.add_category({"z"})
+        assert is_on_same_branch(a, b)
+        assert is_on_same_branch(b, a)
+        assert is_on_same_branch(a, a)
+        assert not is_on_same_branch(b, c)
+
+    def test_chain_deepest(self):
+        tree = CategoryTree()
+        a = tree.add_category({"x"})
+        b = tree.add_category({"y"}, parent=a)
+        c = tree.add_category({"z"})
+        assert chain_deepest([a, b]) is b
+        assert chain_deepest([tree.root, a, b]) is b
+        assert chain_deepest([b, c]) is None
+        assert chain_deepest([]) is None
+
+
+class TestCoverGap:
+    def test_jaccard_gap_formula(self):
+        inst = make_instance([set(range(10))])
+        variant = Variant.threshold_jaccard(0.8)
+        ctx = make_ctx(inst, variant)
+        # Empty category: need ceil(0.8 * 10) = 8 items.
+        assert cover_gap(ctx, inst.get(0)) == 8
+
+    def test_gap_shrinks_with_content(self):
+        inst = make_instance([set(range(10))])
+        variant = Variant.threshold_jaccard(0.8)
+        ctx = make_ctx(inst, variant)
+        cat = ctx.designated[0]
+        for item in range(5):
+            ctx.tree.assign_item(cat, item)
+        assert cover_gap(ctx, inst.get(0)) == 3
+
+    def test_foreign_items_can_make_cover_infeasible(self):
+        inst = make_instance([set(range(4))], universe=set(range(20)))
+        variant = Variant.threshold_jaccard(0.8)
+        ctx = make_ctx(inst, variant)
+        cat = ctx.designated[0]
+        for item in range(10, 16):  # six foreign items
+            ctx.tree.assign_item(cat, item)
+        assert cover_gap(ctx, inst.get(0)) is None
+
+    def test_perfect_recall_gap_counts_all_missing(self):
+        inst = make_instance([set(range(6))])
+        variant = Variant.perfect_recall(0.5)
+        ctx = make_ctx(inst, variant)
+        assert cover_gap(ctx, inst.get(0)) == 6
+
+    def test_perfect_recall_infeasible_precision(self):
+        inst = make_instance([set(range(4))], universe=set(range(20)))
+        variant = Variant.perfect_recall(0.8)
+        ctx = make_ctx(inst, variant)
+        cat = ctx.designated[0]
+        for item in range(10, 14):  # 4 foreign items -> precision 0.5 max
+            ctx.tree.assign_item(cat, item)
+        assert cover_gap(ctx, inst.get(0)) is None
+
+    def test_gap_is_exact_for_all_variants(self):
+        """Adding exactly `gap` items of q covers it; gap-1 does not."""
+        for ctor, delta in [
+            (Variant.threshold_jaccard, 0.7),
+            (Variant.threshold_f1, 0.7),
+            (Variant.cutoff_jaccard, 0.55),
+        ]:
+            variant = ctor(delta)
+            inst = make_instance([set(range(9))], universe=set(range(30)))
+            ctx = make_ctx(inst, variant)
+            cat = ctx.designated[0]
+            ctx.tree.assign_item(cat, 20)  # one foreign item
+            ctx.tree.assign_item(cat, 0)
+            gap = cover_gap(ctx, inst.get(0))
+            assert gap is not None and gap >= 1
+            q = inst.get(0)
+            base = set(cat.items)
+            with_gap = base | set(range(1, 1 + gap))
+            assert variant_score(variant, q.items, with_gap) > 0
+            with_less = base | set(range(1, gap))
+            assert variant_score(variant, q.items, with_less) == 0
+
+
+class TestSafeAssignment:
+    def test_single_set_items_go_to_their_category(self):
+        inst = make_instance([{"a", "b"}, {"c"}])
+        ctx = make_ctx(inst, Variant.exact())
+        duplicates = assign_safe_items(ctx, inst.sets)
+        assert not duplicates
+        assert ctx.designated[0].items == {"a", "b"}
+        assert ctx.designated[1].items == {"c"}
+
+    def test_cross_branch_items_become_duplicates(self):
+        inst = make_instance([{"a", "b"}, {"b", "c"}])
+        ctx = make_ctx(inst, Variant.threshold_jaccard(0.5))
+        duplicates = assign_safe_items(ctx, inst.sets)
+        assert duplicates == {"b"}
+        assert "b" not in ctx.designated[0].items
+        assert "b" not in ctx.designated[1].items
+
+    def test_chain_items_assigned_to_deepest(self):
+        inst = make_instance([{"a", "b", "c"}, {"a", "b"}])
+        variant = Variant.exact()
+        tree = CategoryTree()
+        ctx = BuildContext(tree=tree, instance=inst, variant=variant)
+        outer = tree.add_category(())
+        inner = tree.add_category((), parent=outer)
+        ctx.designated[0] = outer
+        ctx.designated[1] = inner
+        duplicates = assign_safe_items(ctx, inst.sets)
+        assert not duplicates
+        assert inner.items == {"a", "b"}
+        assert outer.items == {"a", "b", "c"}  # closure
+
+    def test_bound_consumed_once_per_item(self):
+        inst = make_instance([{"a"}])
+        ctx = make_ctx(inst, Variant.exact())
+        assign_safe_items(ctx, inst.sets)
+        assert ctx.bound_left("a") == 0

@@ -1,0 +1,116 @@
+"""CCT end-to-end and embedding tests."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms import CCT, CCTConfig, set_embeddings
+from repro.core import Variant, make_instance, score_tree
+
+
+class TestEmbeddings:
+    def test_diagonal_is_one(self, figure2_instance):
+        matrix = set_embeddings(figure2_instance, Variant.threshold_jaccard(0.6))
+        assert np.allclose(np.diag(matrix), 1.0)
+
+    def test_symmetric(self, figure2_instance):
+        matrix = set_embeddings(figure2_instance, Variant.cutoff_f1(0.6))
+        assert np.allclose(matrix, matrix.T)
+
+    def test_jaccard_entries(self, figure2_instance):
+        matrix = set_embeddings(figure2_instance, Variant.threshold_jaccard(0.6))
+        # q1 = {a..e}, q2 = {a,b}: J = 2/5.
+        assert math.isclose(matrix[0, 1], 2 / 5)
+        # q2 and q3 disjoint.
+        assert matrix[1, 2] == 0.0
+
+    def test_perfect_recall_uses_pr_average(self, figure2_instance):
+        matrix = set_embeddings(figure2_instance, Variant.perfect_recall(0.8))
+        # q1 = {a..e}, q2 = {a,b}: precision(q1,q2) = 1, recall = 2/5.
+        assert math.isclose(matrix[0, 1], (1.0 + 2 / 5) / 2)
+
+    def test_entries_in_unit_interval(self, figure2_instance):
+        for variant in (
+            Variant.threshold_jaccard(0.6),
+            Variant.cutoff_f1(0.5),
+            Variant.perfect_recall(0.5),
+        ):
+            matrix = set_embeddings(figure2_instance, variant)
+            assert (matrix >= 0).all() and (matrix <= 1).all()
+
+
+class TestBuild:
+    @pytest.mark.parametrize(
+        "variant",
+        [
+            Variant.exact(),
+            Variant.perfect_recall(0.8),
+            Variant.threshold_jaccard(0.6),
+            Variant.cutoff_f1(0.7),
+        ],
+    )
+    def test_valid_trees_on_figure2(self, figure2_instance, variant):
+        tree = CCT().build(figure2_instance, variant)
+        tree.validate(
+            universe=figure2_instance.universe, bound=figure2_instance.bound
+        )
+
+    def test_threshold_jaccard_score(self, figure2_instance):
+        variant = Variant.threshold_jaccard(0.6)
+        tree = CCT().build(figure2_instance, variant)
+        report = score_tree(tree, figure2_instance, variant)
+        assert report.normalized >= 0.6
+
+    def test_leaf_per_input_set_before_condense(self, figure2_instance):
+        cct = CCT(CCTConfig(condense=False))
+        tree = cct.build(figure2_instance, Variant.threshold_jaccard(0.6))
+        # One leaf per set plus possibly the misc category.
+        non_misc_leaves = [
+            c for c in tree.leaves() if c.label != "C_misc"
+        ]
+        assert len(non_misc_leaves) == len(figure2_instance)
+
+    def test_single_set_instance(self):
+        inst = make_instance([{"a", "b"}])
+        tree = CCT().build(inst, Variant.exact())
+        tree.validate(universe=inst.universe)
+        assert score_tree(tree, inst, Variant.exact()).normalized == 1.0
+
+    def test_two_disjoint_sets_fully_covered(self):
+        inst = make_instance([{"a", "b"}, {"c", "d"}])
+        variant = Variant.exact()
+        tree = CCT().build(inst, variant)
+        assert score_tree(tree, inst, variant).normalized == 1.0
+
+    def test_global_context_ablation_builds_valid_tree(self, figure2_instance):
+        cct = CCT(CCTConfig(global_context=False))
+        variant = Variant.threshold_jaccard(0.6)
+        tree = cct.build(figure2_instance, variant)
+        tree.validate(universe=figure2_instance.universe)
+        assert score_tree(tree, figure2_instance, variant).normalized > 0
+
+    def test_misc_collects_unmentioned_universe_items(self):
+        inst = make_instance([{"a"}], universe={"a", "x", "y"})
+        tree = CCT().build(inst, Variant.exact())
+        misc = [c for c in tree.categories() if c.label == "C_misc"]
+        assert misc and misc[0].items == {"x", "y"}
+
+    def test_figure7_analogue_condense_removes_noncovering(self):
+        """Figure 7's pipeline: dendrogram skeleton, assignment, condense
+        strips the cluster categories that cover nothing."""
+        inst = make_instance(
+            [{"a", "b", "c"}, {"a", "b"}, {"d", "e", "f"}],
+            weights=[2.0, 1.0, 3.0],
+        )
+        variant = Variant.threshold_jaccard(0.6)
+        tree = CCT().build(inst, variant)
+        report = score_tree(tree, inst, variant)
+        assert report.normalized == 1.0
+        # Every surviving non-root, non-misc category covers some set.
+        covering = {
+            e.best_cid for e in report.per_set.values() if e.covered
+        }
+        for cat in tree.non_root_categories():
+            if cat.label != "C_misc":
+                assert cat.cid in covering

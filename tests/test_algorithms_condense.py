@@ -1,0 +1,172 @@
+"""Tests for intermediate categories and condensing."""
+
+import math
+
+from repro.algorithms import (
+    add_intermediate_categories,
+    add_misc_category,
+    condense,
+    remove_noncovered_items,
+    remove_noncovering_categories,
+)
+from repro.algorithms.base import BuildContext
+from repro.core import CategoryTree, Variant, make_instance, score_tree
+
+
+class TestIntermediate:
+    def _context_with_children(self, sets, items_per_child):
+        inst = make_instance(sets)
+        tree = CategoryTree()
+        ctx = BuildContext(
+            tree=tree, instance=inst, variant=Variant.threshold_jaccard(0.6)
+        )
+        for q, items in zip(inst.sets, items_per_child):
+            cat = tree.add_category(items, label=f"q{q.sid}")
+            ctx.designated[q.sid] = cat
+            ctx.target_sets[cat.cid] = q.items
+        return ctx
+
+    def test_recombines_partitioned_pair(self):
+        # q0 = {a,b,c}, q1 = {a,b}, q2 = {x,y}: shares only between 0 and 1.
+        ctx = self._context_with_children(
+            [{"a", "b", "c"}, {"a", "b", "d"}, {"x", "y"}],
+            [{"a", "c"}, {"b", "d"}, {"x", "y"}],
+        )
+        added = add_intermediate_categories(ctx)
+        assert added == 1
+        root_children = ctx.tree.root.children
+        assert len(root_children) == 2
+        node = [c for c in root_children if c.label not in ("q2",)][0]
+        assert node.items == {"a", "b", "c", "d"}
+        assert ctx.target_sets[node.cid] == frozenset("abcd")
+
+    def test_stops_at_two_children(self):
+        ctx = self._context_with_children(
+            [{"a", "b"}, {"a", "c"}],
+            [{"a"}, {"c"}],
+        )
+        assert add_intermediate_categories(ctx) == 0
+
+    def test_disjoint_children_untouched(self):
+        ctx = self._context_with_children(
+            [{"a"}, {"b"}, {"c"}],
+            [{"a"}, {"b"}, {"c"}],
+        )
+        assert add_intermediate_categories(ctx) == 0
+
+    def test_intermediate_covers_partitioned_set(self):
+        """The Figure 6 mechanism: a set whose items were partitioned
+        across sibling branches becomes covered once the intermediate
+        parent recombines them."""
+        inst = make_instance(
+            [{"a", "b", "c"}, {"a", "b", "e"}, {"a", "b"}, {"z", "w"}],
+            weights=[1.0, 1.0, 1.0, 1.0],
+        )
+        variant = Variant.threshold_jaccard(0.5)
+        tree = CategoryTree()
+        from repro.algorithms.base import BuildContext
+
+        ctx = BuildContext(tree=tree, instance=inst, variant=variant)
+        placements = [
+            (0, {"a", "c"}),
+            (1, {"b", "e"}),
+            (3, {"z", "w"}),
+        ]
+        for sid, items in placements:
+            cat = tree.add_category(items, label=f"q{sid}")
+            ctx.designated[sid] = cat
+            ctx.target_sets[cat.cid] = inst.get(sid).items
+        from repro.core import score_tree
+
+        before = score_tree(tree, inst, variant)
+        assert not before.per_set[2].covered  # {a, b} split across branches
+        added = add_intermediate_categories(ctx)
+        assert added >= 1
+        after = score_tree(tree, inst, variant)
+        assert after.per_set[2].covered
+        tree.validate()
+
+    def test_largest_overlap_fraction_merged_first(self):
+        ctx = self._context_with_children(
+            [
+                {"a", "b"},           # q0: subset of q1 -> ratio 1
+                {"a", "b", "c", "d"}, # q1
+                {"d", "e", "f", "g"}, # q2: ratio 1/4 with q1
+            ],
+            [{"a"}, {"b", "c"}, {"e", "f"}],
+        )
+        add_intermediate_categories(ctx)
+        merged = [
+            c
+            for c in ctx.tree.root.children
+            if ctx.target_sets.get(c.cid) == frozenset("abcd")
+        ]
+        assert merged, "q0 and q1 (full containment) should merge first"
+
+
+class TestCondense:
+    def test_remove_noncovered_items(self):
+        inst = make_instance([{"a", "b"}, {"x", "y", "z"}])
+        tree = CategoryTree()
+        tree.add_category({"a", "b"})
+        tree.add_category({"x"})  # cannot cover {x,y,z} at delta 0.8
+        variant = Variant.threshold_jaccard(0.8)
+        removed = remove_noncovered_items(tree, inst, variant)
+        assert removed == 1  # 'x' only appears in the uncovered set
+        assert all("x" not in c.items for c in tree.categories())
+
+    def test_kept_items_survive(self):
+        inst = make_instance([{"a", "b"}])
+        tree = CategoryTree()
+        tree.add_category({"a", "b"})
+        variant = Variant.exact()
+        assert remove_noncovered_items(tree, inst, variant) == 0
+
+    def test_remove_noncovering_categories_splices(self):
+        inst = make_instance([{"a", "b"}])
+        tree = CategoryTree()
+        outer = tree.add_category({"a", "b", "c", "d", "e"})
+        inner = tree.add_category({"a", "b"}, parent=outer)
+        variant = Variant.exact()
+        removed = remove_noncovering_categories(tree, inst, variant)
+        assert removed == 1
+        assert inner.parent is tree.root
+
+    def test_only_best_cover_retained(self):
+        """Two categories cover the set; the higher-precision one stays."""
+        inst = make_instance([{"a", "b", "c"}])
+        tree = CategoryTree()
+        loose = tree.add_category({"a", "b", "c", "d"})
+        tight = tree.add_category({"a", "b", "c"}, parent=loose)
+        variant = Variant.threshold_jaccard(0.7)
+        remove_noncovering_categories(tree, inst, variant)
+        labels = [c for c in tree.non_root_categories()]
+        assert len(labels) == 1
+        assert labels[0] is tight
+
+    def test_condense_never_decreases_score(self, figure2_instance):
+        for variant in (
+            Variant.threshold_jaccard(0.6),
+            Variant.perfect_recall(0.8),
+        ):
+            tree = CategoryTree()
+            tree.add_category({"a", "b", "q"})
+            tree.add_category({"c", "d", "e", "f"})
+            before = score_tree(tree, figure2_instance, variant).normalized
+            condense(tree, figure2_instance, variant)
+            after = score_tree(tree, figure2_instance, variant).normalized
+            assert after >= before - 1e-9
+
+    def test_add_misc_category(self):
+        inst = make_instance([{"a"}], universe={"a", "b", "c"})
+        tree = CategoryTree()
+        tree.add_category({"a"})
+        cat = add_misc_category(tree, inst)
+        assert cat is not None and cat.items == {"b", "c"}
+        tree.validate(universe=inst.universe)
+
+    def test_add_misc_noop_when_complete(self):
+        inst = make_instance([{"a"}])
+        tree = CategoryTree()
+        tree.add_category({"a"})
+        assert add_misc_category(tree, inst) is None

@@ -1,0 +1,84 @@
+"""Tests for BuildContext bookkeeping: bounds, minimal categories."""
+
+from repro.algorithms.base import BuildContext, _is_strict_ancestor
+from repro.core import CategoryTree, Variant, make_instance
+
+
+def make_ctx():
+    inst = make_instance([{"a", "b", "x"}], item_bounds={"x": 2})
+    tree = CategoryTree()
+    return BuildContext(
+        tree=tree, instance=inst, variant=Variant.threshold_jaccard(0.6)
+    )
+
+
+class TestAncestry:
+    def test_strict_ancestor(self):
+        tree = CategoryTree()
+        a = tree.add_category({"x"})
+        b = tree.add_category({"y"}, parent=a)
+        assert _is_strict_ancestor(tree.root, b)
+        assert _is_strict_ancestor(a, b)
+        assert not _is_strict_ancestor(b, a)
+        assert not _is_strict_ancestor(a, a)
+
+    def test_different_branches(self):
+        tree = CategoryTree()
+        a = tree.add_category(())
+        b = tree.add_category(())
+        assert not _is_strict_ancestor(a, b)
+        assert not _is_strict_ancestor(b, a)
+
+
+class TestBounds:
+    def test_bound_left_reads_instance(self):
+        ctx = make_ctx()
+        assert ctx.bound_left("a") == 1
+        assert ctx.bound_left("x") == 2
+
+    def test_consume_bound(self):
+        ctx = make_ctx()
+        ctx.consume_bound("x")
+        assert ctx.bound_left("x") == 1
+        ctx.consume_bound("x")
+        assert ctx.bound_left("x") == 0
+
+
+class TestMinimalTracking:
+    def test_record_then_slide_down(self):
+        ctx = make_ctx()
+        top = ctx.tree.add_category(())
+        deep = ctx.tree.add_category((), parent=top)
+        ctx.tree.assign_item(top, "a")
+        ctx.record_assignment("a", top)
+        # 'a' minimal at top: sliding into a descendant is free.
+        assert ctx.slides_down("a", deep)
+
+    def test_no_slide_across_branches(self):
+        ctx = make_ctx()
+        left = ctx.tree.add_category(())
+        right = ctx.tree.add_category(())
+        ctx.tree.assign_item(left, "a")
+        ctx.record_assignment("a", left)
+        assert not ctx.slides_down("a", right)
+
+    def test_record_moves_minimal_down(self):
+        ctx = make_ctx()
+        top = ctx.tree.add_category(())
+        deep = ctx.tree.add_category((), parent=top)
+        ctx.record_assignment("a", top)
+        ctx.record_assignment("a", deep)
+        assert ctx.minimal_of["a"] == [deep]
+
+    def test_two_branches_tracked_separately(self):
+        ctx = make_ctx()
+        left = ctx.tree.add_category(())
+        right = ctx.tree.add_category(())
+        ctx.record_assignment("x", left)
+        ctx.record_assignment("x", right)
+        assert len(ctx.minimal_of["x"]) == 2
+
+    def test_unknown_item_never_slides(self):
+        ctx = make_ctx()
+        cat = ctx.tree.add_category(())
+        assert not ctx.slides_down("nope", cat)

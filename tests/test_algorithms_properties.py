@@ -1,0 +1,141 @@
+"""Property-based tests: validity and optimality on random instances.
+
+These exercise the full CTCR/CCT pipelines over arbitrary small inputs:
+every produced tree must be valid, and for the Exact variant CTCR (with
+the exact MIS solver) must match the brute-force optimum — the bound the
+paper proves tight in Theorem 3.1's setting.
+"""
+
+import itertools
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import CCT, CTCR
+from repro.core import OCTInstance, Variant, make_instance, score_tree
+
+# Random weighted set families over a small universe.
+instances = st.lists(
+    st.tuples(
+        st.sets(st.integers(0, 9), min_size=1, max_size=6),
+        st.floats(min_value=0.1, max_value=5.0),
+    ),
+    min_size=1,
+    max_size=6,
+).map(
+    lambda pairs: make_instance(
+        [p[0] for p in pairs], weights=[p[1] for p in pairs]
+    )
+)
+
+variants = st.sampled_from(
+    [
+        Variant.exact(),
+        Variant.perfect_recall(0.9),
+        Variant.perfect_recall(0.6),
+        Variant.perfect_recall(0.3),
+        Variant.threshold_jaccard(0.8),
+        Variant.threshold_jaccard(0.5),
+        Variant.cutoff_jaccard(0.7),
+        Variant.threshold_f1(0.8),
+        Variant.cutoff_f1(0.6),
+    ]
+)
+
+
+def exact_brute_force_optimum(instance: OCTInstance) -> float:
+    """Optimal Exact-variant score: the max-weight laminar subfamily.
+
+    A family is coverable by one tree iff its sets are pairwise nested
+    or disjoint (no 2-conflicts) — the paper's tight bound at delta = 1.
+    """
+    sets = instance.sets
+
+    def compatible(a, b) -> bool:
+        inter = a.items & b.items
+        return not inter or a.items <= b.items or b.items <= a.items
+
+    best = 0.0
+    for r in range(len(sets) + 1):
+        for family in itertools.combinations(sets, r):
+            if all(
+                compatible(a, b) for a, b in itertools.combinations(family, 2)
+            ):
+                best = max(best, sum(q.weight for q in family))
+    return best
+
+
+class TestValidity:
+    @settings(max_examples=60, deadline=None)
+    @given(instances, variants)
+    def test_ctcr_always_valid(self, instance, variant):
+        tree = CTCR().build(instance, variant)
+        tree.validate(universe=instance.universe, bound=instance.bound)
+
+    @settings(max_examples=60, deadline=None)
+    @given(instances, variants)
+    def test_cct_always_valid(self, instance, variant):
+        tree = CCT().build(instance, variant)
+        tree.validate(universe=instance.universe, bound=instance.bound)
+
+    @settings(max_examples=30, deadline=None)
+    @given(instances, variants, st.integers(min_value=2, max_value=3))
+    def test_ctcr_valid_with_bounds(self, instance, variant, bound):
+        bounded = OCTInstance(
+            instance.sets, universe=instance.universe, default_bound=bound
+        )
+        tree = CTCR().build(bounded, variant)
+        tree.validate(universe=bounded.universe, bound=bounded.bound)
+
+    @settings(max_examples=40, deadline=None)
+    @given(instances, variants)
+    def test_scores_normalized(self, instance, variant):
+        tree = CTCR().build(instance, variant)
+        report = score_tree(tree, instance, variant)
+        assert -1e-9 <= report.normalized <= 1.0 + 1e-9
+
+
+class TestExactOptimality:
+    @settings(max_examples=60, deadline=None)
+    @given(instances)
+    def test_ctcr_exact_is_optimal(self, instance):
+        """CTCR + exact MIS solves the Exact variant optimally."""
+        tree = CTCR().build(instance, Variant.exact())
+        report = score_tree(tree, instance, Variant.exact())
+        optimum = exact_brute_force_optimum(instance)
+        assert math.isclose(report.total, optimum, abs_tol=1e-9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(instances)
+    def test_cct_never_beats_the_exact_optimum(self, instance):
+        tree = CCT().build(instance, Variant.exact())
+        report = score_tree(tree, instance, Variant.exact())
+        assert report.total <= exact_brute_force_optimum(instance) + 1e-9
+
+
+class TestCoverageAccounting:
+    @settings(max_examples=40, deadline=None)
+    @given(instances, variants)
+    def test_covered_weight_bounded_by_selection(self, instance, variant):
+        builder = CTCR()
+        tree = builder.build(instance, variant)
+        report = score_tree(tree, instance, variant)
+        # The MIS selection upper-bounds what the tree can cover...
+        # plus sets covered incidentally by other categories. Normalized
+        # score can never exceed 1 regardless.
+        assert report.covered_weight <= instance.total_weight + 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(instances)
+    def test_perfect_recall_covers_selection(self, instance):
+        """For PR, every selected set's category achieves recall 1, so the
+        covered weight equals the selection weight whenever no
+        higher-order conflict interferes; it can never exceed it by more
+        than the weight of incidentally covered unselected sets."""
+        variant = Variant.perfect_recall(0.6)
+        builder = CTCR()
+        tree = builder.build(instance, variant)
+        report = score_tree(tree, instance, variant)
+        assert report.covered_weight >= 0.0
+        tree.validate(universe=instance.universe, bound=instance.bound)

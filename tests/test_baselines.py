@@ -1,0 +1,140 @@
+"""Tests for the IC-S, IC-Q, and ET baselines."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    ExistingTree,
+    ICQ,
+    ICQConfig,
+    ICS,
+    ICSConfig,
+    reduce_groups,
+    tree_from_item_dendrogram,
+)
+from repro.clustering import agglomerative_clustering
+from repro.core import Variant, make_instance, score_tree
+
+
+class TestReduceGroups:
+    def test_noop_when_under_cap(self):
+        vectors = np.eye(3)
+        members = [["a"], ["b"], ["c"]]
+        out_v, out_m = reduce_groups(vectors, members, 5, random.Random(0))
+        assert out_m == members and np.array_equal(out_v, vectors)
+
+    def test_reduction_keeps_all_items(self):
+        rng = random.Random(1)
+        vectors = np.random.default_rng(0).normal(size=(10, 4))
+        vectors /= np.linalg.norm(vectors, axis=1)[:, None]
+        members = [[f"i{k}"] for k in range(10)]
+        out_v, out_m = reduce_groups(vectors, members, 4, rng)
+        assert len(out_m) <= 4
+        assert sorted(i for m in out_m for i in m) == sorted(
+            i for m in members for i in m
+        )
+        assert len(out_v) == len(out_m)
+
+
+class TestTreeFromDendrogram:
+    def test_valid_tree_every_item_once(self):
+        vectors = np.array([[0.0], [0.1], [5.0], [5.1], [9.0]])
+        members = [["a"], ["b"], ["c"], ["d"], ["e"]]
+        dendrogram = agglomerative_clustering(vectors)
+        tree = tree_from_item_dendrogram(dendrogram, members, 1)
+        tree.validate(universe={"a", "b", "c", "d", "e"})
+
+    def test_min_size_collapses_small_subtrees(self):
+        vectors = np.arange(8, dtype=float).reshape(-1, 1)
+        members = [[f"i{k}"] for k in range(8)]
+        dendrogram = agglomerative_clustering(vectors)
+        big = tree_from_item_dendrogram(dendrogram, members, 1)
+        small = tree_from_item_dendrogram(dendrogram, members, 4)
+        assert len(small) < len(big)
+
+
+class TestICS:
+    def test_builds_valid_tree(self, figure2_instance):
+        titles = {i: f"product {i}" for i in figure2_instance.universe}
+        titles["a"] = "black adidas shirt"
+        titles["b"] = "black adidas top shirt"
+        tree = ICS(titles, ICSConfig(max_leaves=10)).build(
+            figure2_instance, Variant.exact()
+        )
+        tree.validate(universe=figure2_instance.universe)
+
+    def test_groups_identical_titles(self, figure2_instance):
+        titles = {i: "same title" for i in figure2_instance.universe}
+        tree = ICS(titles).build(figure2_instance, Variant.exact())
+        tree.validate(universe=figure2_instance.universe)
+        # All items share one leaf category.
+        non_root = list(tree.non_root_categories())
+        assert len(non_root) == 1
+
+    def test_deterministic(self, tiny_dataset):
+        from repro.pipeline import preprocess
+
+        inst, _ = preprocess(tiny_dataset, Variant.threshold_jaccard(0.8))
+        t1 = ICS(tiny_dataset.titles).build(inst, Variant.threshold_jaccard(0.8))
+        t2 = ICS(tiny_dataset.titles).build(inst, Variant.threshold_jaccard(0.8))
+        assert t1.to_text() == t2.to_text()
+
+
+class TestICQ:
+    def test_builds_valid_tree(self, figure2_instance):
+        tree = ICQ().build(figure2_instance, Variant.exact())
+        tree.validate(universe=figure2_instance.universe)
+
+    def test_identical_membership_shares_category(self, figure2_instance):
+        tree = ICQ(ICQConfig(min_category_size=1)).build(
+            figure2_instance, Variant.exact()
+        )
+        # c, d, e share membership (q1 and q3): they must sit in the same
+        # most-specific category.
+        minimal = {
+            item: tree.minimal_categories(item)[0].cid
+            for item in ("c", "d", "e")
+        }
+        assert len(set(minimal.values())) == 1
+
+    def test_respects_max_leaves(self):
+        inst = make_instance(
+            [{i, i + 1} for i in range(0, 40, 2)],
+        )
+        tree = ICQ(ICQConfig(max_leaves=5)).build(inst, Variant.exact())
+        tree.validate(universe=inst.universe)
+
+
+class TestExistingTree:
+    def test_returns_copy(self, tiny_dataset):
+        baseline = ExistingTree(tiny_dataset.existing_tree)
+        inst = make_instance(
+            [{tiny_dataset.products[0].pid}],
+            universe=[p.pid for p in tiny_dataset.products],
+        )
+        tree = baseline.build(inst, Variant.exact())
+        assert tree is not tiny_dataset.existing_tree
+        tree.root.items.clear()
+        assert tiny_dataset.existing_tree.root.items
+
+    def test_adds_misc_for_unknown_items(self):
+        from repro.core import CategoryTree
+
+        existing = CategoryTree()
+        existing.add_category({"a"})
+        baseline = ExistingTree(existing)
+        inst = make_instance([{"a", "zz"}])
+        tree = baseline.build(inst, Variant.exact())
+        tree.validate(universe=inst.universe)
+
+    def test_scoring_works(self, figure2_instance):
+        from repro.core import CategoryTree
+
+        existing = CategoryTree()
+        cat = existing.add_category({"a", "b"})
+        baseline = ExistingTree(existing)
+        tree = baseline.build(figure2_instance, Variant.exact())
+        report = score_tree(tree, figure2_instance, Variant.exact())
+        assert report.per_set[1].covered  # q2 = {a, b}

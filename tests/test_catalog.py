@@ -1,0 +1,200 @@
+"""Tests for the synthetic catalog: products, taxonomy, queries, datasets."""
+
+import pytest
+
+from repro.catalog import (
+    DATASET_SPECS,
+    ELECTRONICS,
+    FASHION,
+    build_existing_tree,
+    generate_products,
+    generate_query_log,
+    load_dataset,
+    matching_products,
+    titles_of,
+    tree_categories_as_input_sets,
+)
+
+
+class TestSchemas:
+    def test_schema_lookup(self):
+        assert FASHION.attribute("brand").name == "brand"
+        with pytest.raises(KeyError):
+            FASHION.attribute("warranty")
+
+    def test_head_attribute_exists(self):
+        for schema in (FASHION, ELECTRONICS):
+            assert schema.head_attribute in schema.attribute_names()
+
+    def test_weights_decrease(self):
+        weights = FASHION.attribute("brand").weights()
+        assert weights == sorted(weights, reverse=True)
+
+
+class TestProducts:
+    def test_count_and_ids_unique(self):
+        products = generate_products(FASHION, 50, seed=1)
+        assert len(products) == 50
+        assert len({p.pid for p in products}) == 50
+
+    def test_deterministic_per_seed(self):
+        a = generate_products(FASHION, 20, seed=5)
+        b = generate_products(FASHION, 20, seed=5)
+        assert [p.title for p in a] == [p.title for p in b]
+
+    def test_different_seeds_differ(self):
+        a = generate_products(FASHION, 30, seed=1)
+        b = generate_products(FASHION, 30, seed=2)
+        assert [p.title for p in a] != [p.title for p in b]
+
+    def test_applicable_attributes_assigned(self):
+        for p in generate_products(ELECTRONICS, 40, seed=0):
+            head = p.attributes[ELECTRONICS.head_attribute]
+            expected = {
+                attr.name
+                for attr in ELECTRONICS.attributes
+                if attr.applicable(head)
+            }
+            assert set(p.attributes) == expected
+
+    def test_conditional_attribute_respected(self):
+        products = generate_products(ELECTRONICS, 300, seed=1)
+        for p in products:
+            has_storage = "storage" in p.attributes
+            eligible = p.attributes["product_type"] in (
+                "phone", "laptop", "tablet", "memory card"
+            )
+            assert has_storage == eligible
+
+    def test_title_contains_head_value(self):
+        for p in generate_products(FASHION, 30, seed=3):
+            assert p.attributes["product_type"] in p.title
+
+    def test_titles_of(self):
+        products = generate_products(FASHION, 5, seed=0)
+        titles = titles_of(products)
+        assert titles[products[0].pid] == products[0].title
+
+    def test_matching_products(self):
+        products = generate_products(FASHION, 200, seed=4)
+        black = matching_products(products, {"color": "black"})
+        assert black
+        assert all(p.attributes["color"] == "black" for p in black)
+        both = matching_products(
+            products, {"color": "black", "product_type": "shirt"}
+        )
+        assert set(both) <= set(black)
+
+
+class TestTaxonomy:
+    def test_tree_is_valid(self):
+        products = generate_products(FASHION, 300, seed=2)
+        tree = build_existing_tree(products, ["product_type", "brand"], min_size=5)
+        tree.validate(universe={p.pid for p in products})
+
+    def test_top_level_partitions_by_first_attribute(self):
+        products = generate_products(FASHION, 300, seed=2)
+        tree = build_existing_tree(products, ["product_type"], min_size=5)
+        labels = {c.label for c in tree.root.children}
+        types = {p.attributes["product_type"] for p in products}
+        assert labels <= types
+
+    def test_min_size_respected(self):
+        products = generate_products(FASHION, 300, seed=2)
+        tree = build_existing_tree(
+            products, ["product_type", "brand", "color"], min_size=10
+        )
+        for cat in tree.non_root_categories():
+            assert len(cat.items) >= 1
+
+    def test_categories_as_input_sets(self):
+        products = generate_products(FASHION, 200, seed=2)
+        tree = build_existing_tree(products, ["product_type"], min_size=5)
+        sets = tree_categories_as_input_sets(tree, start_sid=100, weight=2.0)
+        assert sets
+        assert all(q.source == "existing" for q in sets)
+        assert all(q.weight == 2.0 for q in sets)
+        assert [q.sid for q in sets] == list(
+            range(100, 100 + len(sets))
+        )
+
+
+class TestQueryLog:
+    def test_counts_and_days(self):
+        log = generate_query_log(FASHION, 50, days=30, seed=1)
+        assert len(log) <= 50
+        assert all(len(q.daily_counts) == 30 for q in log.queries)
+
+    def test_deterministic(self):
+        a = generate_query_log(FASHION, 40, seed=9)
+        b = generate_query_log(FASHION, 40, seed=9)
+        assert [q.text for q in a.queries] == [q.text for q in b.queries]
+
+    def test_texts_unique(self):
+        log = generate_query_log(FASHION, 60, seed=2)
+        texts = [q.text for q in log.queries]
+        assert len(texts) == len(set(texts))
+
+    def test_noise_queries_marked(self):
+        log = generate_query_log(FASHION, 100, seed=3, noise_fraction=0.3)
+        assert any(not q.coherent for q in log.queries)
+
+    def test_trend_queries_spike_late(self):
+        log = generate_query_log(
+            FASHION, 30, seed=4, trend_queries=["kobe memorabilia"]
+        )
+        trend = [q for q in log.queries if q.text == "kobe memorabilia"][0]
+        assert sum(trend.daily_counts[:76]) == 0
+        assert sum(trend.daily_counts[76:]) > 0
+        assert log.trend_events and log.trend_events[0].text == "kobe memorabilia"
+
+    def test_recent_weighting(self):
+        log = generate_query_log(
+            FASHION, 30, seed=4, trend_queries=["kobe memorabilia"]
+        )
+        full = {q.text: q.mean_daily for q in log.queries}
+        recent = log.recent_weighted(14)
+        assert recent["kobe memorabilia"] > full["kobe memorabilia"]
+
+    def test_mean_and_min_daily(self):
+        log = generate_query_log(FASHION, 20, seed=5, rare_fraction=1.0)
+        assert any(q.min_daily() == 0 for q in log.queries)
+
+
+class TestDatasets:
+    def test_specs_cover_paper_datasets(self):
+        assert {"A", "B", "C", "D", "E"} <= set(DATASET_SPECS)
+        # The paper's other public sets (Section 5.2).
+        assert {"CrowdFlower", "HomeDepot", "VictoriasSecret"} <= set(
+            DATASET_SPECS
+        )
+
+    def test_public_datasets_load(self):
+        for name in ("HomeDepot", "VictoriasSecret"):
+            ds = load_dataset(name, scale=0.01, seed=2)
+            assert ds.uniform_weights
+            assert ds.n_items >= 200
+            ds.existing_tree.validate(
+                universe={p.pid for p in ds.products}
+            )
+
+    def test_load_tiny(self, tiny_dataset):
+        assert tiny_dataset.n_items >= 200
+        assert tiny_dataset.n_queries >= 40
+        assert len(tiny_dataset.titles) == tiny_dataset.n_items
+
+    def test_existing_tree_valid(self, tiny_dataset):
+        tiny_dataset.existing_tree.validate(
+            universe={p.pid for p in tiny_dataset.products}
+        )
+
+    def test_engine_indexes_catalog(self, tiny_dataset):
+        assert len(tiny_dataset.engine.index) == tiny_dataset.n_items
+
+    def test_e_is_uniform_weights(self):
+        ds = load_dataset("E", scale=0.002, seed=0)
+        assert ds.uniform_weights
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            load_dataset("Z")

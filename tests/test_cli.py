@@ -1,0 +1,121 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main, parse_variant
+from repro.core import ScoreMode, SimilarityKind
+
+
+class TestParseVariant:
+    def test_exact(self):
+        assert parse_variant("exact").is_exact
+
+    def test_threshold_jaccard(self):
+        v = parse_variant("threshold-jaccard:0.8")
+        assert v.kind is SimilarityKind.JACCARD
+        assert v.mode is ScoreMode.THRESHOLD
+        assert v.delta == 0.8
+
+    def test_perfect_recall(self):
+        v = parse_variant("perfect-recall:0.6")
+        assert v.is_perfect_recall and v.delta == 0.6
+
+    def test_bad_spec(self):
+        with pytest.raises(SystemExit):
+            parse_variant("jaccard")
+        with pytest.raises(SystemExit):
+            parse_variant("nope:0.5")
+        with pytest.raises(SystemExit):
+            parse_variant("threshold-jaccard:high")
+
+
+class TestCommands:
+    COMMON = ["--dataset", "A", "--scale", "0.01", "--seed", "7"]
+
+    def test_build_prints_score(self, capsys):
+        rc = main(["build", *self.COMMON, "--algorithm", "ctcr"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "CTCR: score=" in out
+
+    def test_build_show_and_output(self, capsys, tmp_path):
+        out_path = tmp_path / "tree.json"
+        rc = main(
+            [
+                "build", *self.COMMON,
+                "--output", str(out_path), "--show",
+            ]
+        )
+        assert rc == 0
+        assert out_path.exists()
+        assert "root" in capsys.readouterr().out
+
+    def test_evaluate_saved_tree(self, capsys, tmp_path):
+        out_path = tmp_path / "tree.json"
+        main(["build", *self.COMMON, "--output", str(out_path)])
+        capsys.readouterr()
+        rc = main(["evaluate", *self.COMMON, "--tree", str(out_path)])
+        assert rc == 0
+        assert "score=" in capsys.readouterr().out
+
+    def test_compare_lists_all_algorithms(self, capsys):
+        rc = main(["compare", *self.COMMON])
+        out = capsys.readouterr().out
+        assert rc == 0
+        for name in ("CTCR", "CCT", "IC-Q", "IC-S", "ET"):
+            assert name in out
+
+    def test_sweep(self, capsys):
+        rc = main(
+            [
+                "sweep", *self.COMMON,
+                "--start", "0.7", "--stop", "0.9", "--step", "0.1",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "0.7000" in out and "0.9000" in out
+
+    def test_instance_json_input(self, capsys, tmp_path):
+        from repro.core import make_instance
+        from repro.io import dump_instance
+
+        inst = make_instance([{"a", "b"}, {"c", "d"}])
+        path = tmp_path / "inst.json"
+        dump_instance(inst, str(path))
+        rc = main(
+            [
+                "build", "--instance", str(path),
+                "--variant", "exact", "--algorithm", "cct",
+            ]
+        )
+        assert rc == 0
+        assert "CCT: score=" in capsys.readouterr().out
+
+    def test_baseline_requires_dataset(self, tmp_path):
+        from repro.core import make_instance
+        from repro.io import dump_instance
+
+        inst = make_instance([{"a"}])
+        path = tmp_path / "inst.json"
+        dump_instance(inst, str(path))
+        with pytest.raises(SystemExit):
+            main(["build", "--instance", str(path), "--algorithm", "ic-s"])
+
+    def test_preprocess_exports_instance(self, capsys, tmp_path):
+        out_path = tmp_path / "inst.json"
+        rc = main(["preprocess", *self.COMMON, "--output", str(out_path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "candidate sets" in out
+        from repro.io import load_instance
+
+        instance = load_instance(str(out_path))
+        assert len(instance) > 0
+
+    def test_trends_command(self, capsys):
+        rc = main(["trends", *self.COMMON, "--window", "14"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "trending queries" in out
+        assert "fading queries" in out

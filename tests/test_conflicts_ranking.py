@@ -1,0 +1,43 @@
+"""Tests for input-set ranking (Section 3.2)."""
+
+from repro.conflicts import rank_sets
+from repro.core import make_instance
+
+
+class TestRanking:
+    def test_largest_set_ranks_first(self):
+        inst = make_instance([{"a"}, {"a", "b", "c"}, {"a", "b"}])
+        ranking = rank_sets(inst)
+        assert ranking.rank(1) == 1  # the 3-element set
+        assert ranking.rank(2) == 2
+        assert ranking.rank(0) == 3
+
+    def test_size_ties_break_lighter_first(self):
+        # Among same-size sets the heavier set ranks lower (deeper),
+        # giving it a second, more precise covering opportunity.
+        inst = make_instance([{"a", "b"}, {"c", "d"}], weights=[5.0, 1.0])
+        ranking = rank_sets(inst)
+        assert ranking.rank(1) == 1  # lighter first
+        assert ranking.rank(0) == 2
+
+    def test_full_tie_breaks_on_sid(self):
+        inst = make_instance([{"a", "b"}, {"c", "d"}], weights=[1.0, 1.0])
+        ranking = rank_sets(inst)
+        assert ranking.rank(0) == 1
+
+    def test_ranks_are_a_permutation(self):
+        inst = make_instance([{"a"}, {"b", "c"}, {"d"}, {"e", "f", "g"}])
+        ranking = rank_sets(inst)
+        assert sorted(ranking.rank_of.values()) == [1, 2, 3, 4]
+
+    def test_upper_lower_orders_by_rank(self):
+        inst = make_instance([{"a"}, {"a", "b", "c"}])
+        ranking = rank_sets(inst)
+        upper, lower = ranking.upper_lower(inst.get(0), inst.get(1))
+        assert upper.sid == 1 and lower.sid == 0
+
+    def test_ordered_matches_rank(self):
+        inst = make_instance([{"a"}, {"b", "c"}, {"d", "e", "f"}])
+        ranking = rank_sets(inst)
+        assert [q.sid for q in ranking.ordered] == [2, 1, 0]
+        assert len(ranking) == 3

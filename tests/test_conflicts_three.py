@@ -1,0 +1,77 @@
+"""Tests for 3-conflict enumeration (Section 3.2, Example 3.2)."""
+
+from repro.conflicts import (
+    compute_pairwise,
+    compute_three_conflicts,
+    rank_sets,
+)
+from repro.core import Variant, make_instance
+
+
+class TestExample32:
+    def test_the_triplet_is_a_conflict(self, example32_instance):
+        analysis = compute_pairwise(
+            example32_instance, Variant.perfect_recall(0.61)
+        )
+        triples = compute_three_conflicts(analysis)
+        assert len(triples) == 1
+        (triple,) = triples
+        assert set(triple) == {0, 1, 2}
+
+    def test_canonical_order_is_by_rank(self, example32_instance):
+        ranking = rank_sets(example32_instance)
+        analysis = compute_pairwise(
+            example32_instance, Variant.perfect_recall(0.61), ranking
+        )
+        (triple,) = compute_three_conflicts(analysis)
+        ranks = [ranking.rank_of[sid] for sid in triple]
+        assert ranks == sorted(ranks)
+
+
+class TestMiddleRankCondition:
+    def test_middle_as_largest_is_not_a_conflict(self):
+        """If the shared set ranks lowest (is the largest), its category is
+        simply an ancestor of both others — no conflict."""
+        # big must be covered together with each of two smaller sets.
+        inst = make_instance(
+            [
+                set(range(10)),        # big (rank 1, the middle vertex)
+                {0, 100},              # overlaps big
+                {9, 200},              # overlaps big
+            ]
+        )
+        analysis = compute_pairwise(inst, Variant.perfect_recall(0.6))
+        assert analysis.is_must_together(0, 1)
+        assert analysis.is_must_together(0, 2)
+        assert compute_three_conflicts(analysis) == set()
+
+    def test_transitive_must_pair_blocks_conflict(self):
+        """When the endpoints must also be covered together, the chain is
+        consistent and no 3-conflict arises."""
+        inst = make_instance(
+            [
+                set(range(12)),
+                set(range(8)) | {100},
+                set(range(8)) | {200},
+            ]
+        )
+        analysis = compute_pairwise(inst, Variant.perfect_recall(0.6))
+        triples = compute_three_conflicts(analysis)
+        for triple in triples:
+            first, _middle, third = triple
+            assert not analysis.is_must_together(first, third)
+
+    def test_existing_2conflict_suppresses_triple(self, figure2_instance):
+        analysis = compute_pairwise(
+            figure2_instance, Variant.perfect_recall(0.8)
+        )
+        # q2 is must-together with q1 and q4, but (q1, q4) is already a
+        # 2-conflict, so no redundant triple is emitted.
+        triples = compute_three_conflicts(analysis)
+        assert all({0, 3} - set(t) for t in triples)
+
+    def test_exact_variant_has_no_triples(self, figure2_instance):
+        analysis = compute_pairwise(figure2_instance, Variant.exact())
+        # Exact must-together = containment, which is transitive, so the
+        # paper skips 3-conflicts entirely at delta = 1; verify none arise.
+        assert compute_three_conflicts(analysis) == set()

@@ -1,0 +1,106 @@
+"""Tests for input sets and OCT instances."""
+
+import pytest
+
+from repro.core import InputSet, InvalidInstanceError, OCTInstance, make_instance
+
+
+class TestInputSet:
+    def test_basic_fields(self):
+        q = InputSet(sid=1, items=frozenset({"a"}), weight=2.0, label="x")
+        assert len(q) == 1 and "a" in q and q.label == "x"
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            InputSet(sid=0, items=frozenset({"a"}), weight=-1.0)
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            InputSet(sid=0, items=frozenset())
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            InputSet(sid=0, items=frozenset({"a"}), threshold=0.0)
+        with pytest.raises(InvalidInstanceError):
+            InputSet(sid=0, items=frozenset({"a"}), threshold=1.5)
+
+    def test_zero_weight_allowed(self):
+        assert InputSet(sid=0, items=frozenset({"a"}), weight=0.0).weight == 0.0
+
+
+class TestOCTInstance:
+    def test_universe_defaults_to_union(self):
+        inst = make_instance([{"a", "b"}, {"b", "c"}])
+        assert inst.universe == {"a", "b", "c"}
+
+    def test_explicit_universe_superset(self):
+        inst = make_instance([{"a"}], universe={"a", "b"})
+        assert inst.universe == {"a", "b"}
+
+    def test_universe_must_cover_sets(self):
+        with pytest.raises(InvalidInstanceError):
+            make_instance([{"a", "b"}], universe={"a"})
+
+    def test_duplicate_sids_rejected(self):
+        sets = [
+            InputSet(sid=0, items=frozenset({"a"})),
+            InputSet(sid=0, items=frozenset({"b"})),
+        ]
+        with pytest.raises(InvalidInstanceError):
+            OCTInstance(sets)
+
+    def test_total_weight(self):
+        inst = make_instance([{"a"}, {"b"}], weights=[1.5, 2.5])
+        assert inst.total_weight == 4.0
+
+    def test_get_by_sid(self):
+        inst = make_instance([{"a"}, {"b"}])
+        assert inst.get(1).items == {"b"}
+
+    def test_default_bound_one(self):
+        inst = make_instance([{"a"}])
+        assert inst.bound("a") == 1
+
+    def test_item_bounds_override(self):
+        inst = make_instance([{"a", "b"}], item_bounds={"a": 2})
+        assert inst.bound("a") == 2
+        assert inst.bound("b") == 1
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            make_instance([{"a"}], item_bounds={"a": 0})
+        with pytest.raises(InvalidInstanceError):
+            make_instance([{"a"}], default_bound=0)
+
+    def test_effective_threshold_prefers_per_set(self):
+        q = InputSet(sid=0, items=frozenset({"a"}), threshold=0.4)
+        inst = OCTInstance([q])
+        assert inst.effective_threshold(q, 0.9) == 0.4
+
+    def test_effective_threshold_default(self):
+        q = InputSet(sid=0, items=frozenset({"a"}))
+        inst = OCTInstance([q])
+        assert inst.effective_threshold(q, 0.9) == 0.9
+
+    def test_sets_containing_index(self):
+        inst = make_instance([{"a", "b"}, {"b"}])
+        index = inst.sets_containing()
+        assert [q.sid for q in index["b"]] == [0, 1]
+        assert [q.sid for q in index["a"]] == [0]
+
+    def test_restricted_to_keeps_universe(self):
+        inst = make_instance([{"a"}, {"b"}])
+        sub = inst.restricted_to([0])
+        assert len(sub) == 1
+        assert sub.universe == inst.universe
+
+    def test_with_extra_sets_extends_universe(self):
+        inst = make_instance([{"a"}])
+        extra = [InputSet(sid=10, items=frozenset({"z"}), source="existing")]
+        bigger = inst.with_extra_sets(extra)
+        assert len(bigger) == 2
+        assert "z" in bigger.universe
+
+    def test_make_instance_length_mismatch(self):
+        with pytest.raises(InvalidInstanceError):
+            make_instance([{"a"}], weights=[1.0, 2.0])

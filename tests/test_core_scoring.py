@@ -1,0 +1,154 @@
+"""Tests for tree scoring against the naive definition."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    CategoryTree,
+    Variant,
+    annotate_matches,
+    covering_categories,
+    make_instance,
+    score_tree,
+    upper_bound,
+    variant_score,
+)
+
+
+def naive_score(tree, instance, variant) -> float:
+    """Direct implementation of S(Q, W, T) from Section 2.1."""
+    total = 0.0
+    for q in instance:
+        delta = instance.effective_threshold(q, variant.delta)
+        best = max(
+            variant_score(variant, q.items, cat.items, delta)
+            for cat in tree.categories()
+        )
+        total += q.weight * best
+    return total
+
+
+def build_tree(category_item_sets: list[set]) -> CategoryTree:
+    tree = CategoryTree()
+    for items in category_item_sets:
+        tree.add_category(items)
+    return tree
+
+
+class TestScoreTree:
+    def test_matches_naive_on_example(self, figure2_instance):
+        tree = build_tree([{"a", "b"}, {"c", "d", "e", "f"}, {"a", "b", "c", "d", "e", "f"}])
+        for variant in (
+            Variant.exact(),
+            Variant.threshold_jaccard(0.6),
+            Variant.cutoff_f1(0.5),
+            Variant.perfect_recall(0.8),
+        ):
+            report = score_tree(tree, figure2_instance, variant)
+            assert math.isclose(
+                report.total, naive_score(tree, figure2_instance, variant)
+            )
+
+    def test_normalized_divides_by_total_weight(self):
+        inst = make_instance([{"a"}, {"b"}], weights=[3.0, 1.0])
+        tree = build_tree([{"a"}])
+        report = score_tree(tree, inst, Variant.exact())
+        assert math.isclose(report.total, 3.0)
+        assert math.isclose(report.normalized, 0.75)
+
+    def test_covered_count_and_weight(self):
+        inst = make_instance([{"a"}, {"b"}, {"c"}], weights=[1.0, 2.0, 4.0])
+        tree = build_tree([{"a"}, {"c"}])
+        report = score_tree(tree, inst, Variant.exact())
+        assert report.covered_count == 2
+        assert math.isclose(report.covered_weight, 5.0)
+
+    def test_per_set_best_category(self):
+        inst = make_instance([{"a", "b"}])
+        tree = CategoryTree()
+        loose = tree.add_category({"a", "b", "c", "d"})
+        tight = tree.add_category({"a", "b", "c"}, parent=loose)
+        report = score_tree(tree, inst, Variant.threshold_jaccard(0.5))
+        assert report.per_set[0].best_cid == tight.cid  # higher precision
+
+    def test_tie_prefers_deeper_category(self):
+        inst = make_instance([{"a", "b"}])
+        tree = CategoryTree()
+        outer = tree.add_category({"a", "b"})
+        inner = tree.add_category({"a", "b"}, parent=outer)
+        report = score_tree(tree, inst, Variant.exact())
+        assert report.per_set[0].best_cid == inner.cid
+
+    def test_uncovered_set_has_no_category(self):
+        inst = make_instance([{"z", "y"}], universe={"z", "y", "a"})
+        tree = build_tree([{"a"}])
+        report = score_tree(tree, inst, Variant.exact())
+        entry = report.per_set[0]
+        assert not entry.covered and entry.best_cid is None
+
+    def test_score_by_source(self):
+        from repro.core import InputSet, OCTInstance
+
+        sets = [
+            InputSet(sid=0, items=frozenset({"a"}), weight=2.0, source="query"),
+            InputSet(sid=1, items=frozenset({"b"}), weight=3.0, source="existing"),
+        ]
+        inst = OCTInstance(sets)
+        tree = build_tree([{"a"}, {"b"}])
+        report = score_tree(tree, inst, Variant.exact())
+        by_source = report.score_by_source(inst)
+        assert by_source == {"query": 2.0, "existing": 3.0}
+
+    def test_upper_bound_is_total_weight(self):
+        inst = make_instance([{"a"}, {"b"}], weights=[2.0, 5.0])
+        assert upper_bound(inst) == 7.0
+
+    def test_zero_weight_instance_normalizes_to_zero(self):
+        inst = make_instance([{"a"}], weights=[0.0])
+        tree = build_tree([{"a"}])
+        assert score_tree(tree, inst, Variant.exact()).normalized == 0.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.sets(st.integers(0, 8), min_size=1, max_size=5),
+            min_size=1,
+            max_size=4,
+        ),
+        st.lists(
+            st.sets(st.integers(0, 8), min_size=0, max_size=6),
+            min_size=0,
+            max_size=4,
+        ),
+    )
+    def test_matches_naive_on_random(self, raw_sets, raw_cats):
+        inst = make_instance(raw_sets)
+        tree = build_tree(raw_cats)
+        for variant in (
+            Variant.threshold_jaccard(0.6),
+            Variant.cutoff_jaccard(0.4),
+            Variant.perfect_recall(0.5),
+            Variant.exact(),
+        ):
+            report = score_tree(tree, inst, variant)
+            assert math.isclose(report.total, naive_score(tree, inst, variant))
+
+
+class TestAttribution:
+    def test_covering_categories_partition_covered_sets(self, figure2_instance):
+        tree = build_tree([{"a", "b"}, {"c", "d", "e", "f"}])
+        variant = Variant.threshold_jaccard(0.6)
+        attribution = covering_categories(tree, figure2_instance, variant)
+        covered_sids = [sid for sids in attribution.values() for sid in sids]
+        assert len(covered_sids) == len(set(covered_sids))
+        report = score_tree(tree, figure2_instance, variant)
+        assert len(covered_sids) == report.covered_count
+
+    def test_annotate_matches_stamps_categories(self, figure2_instance):
+        tree = build_tree([{"a", "b"}])
+        annotate_matches(tree, figure2_instance, Variant.exact())
+        matched = [c for c in tree.categories() if c.matched_sids]
+        assert len(matched) == 1
+        assert matched[0].matched_sids == [1]  # q2 = {a, b}

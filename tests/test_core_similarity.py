@@ -1,0 +1,158 @@
+"""Tests for similarity functions and variant scoring."""
+
+import math
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import Variant, covers, f1, jaccard, precision, recall, variant_score
+from repro.core.similarity import (
+    f1_from_sizes,
+    jaccard_from_sizes,
+    raw_similarity,
+    variant_score_from_sizes,
+)
+from repro.core.variants import SimilarityKind
+
+small_sets = st.sets(st.integers(min_value=0, max_value=12), max_size=8)
+
+
+class TestBasicFunctions:
+    def test_jaccard_identical(self):
+        assert jaccard({1, 2}, {1, 2}) == 1.0
+
+    def test_jaccard_disjoint(self):
+        assert jaccard({1}, {2}) == 0.0
+
+    def test_jaccard_partial(self):
+        assert jaccard({1, 2, 3}, {2, 3, 4}) == 0.5
+
+    def test_jaccard_both_empty(self):
+        assert jaccard(set(), set()) == 1.0
+
+    def test_precision_counts_category_side(self):
+        assert precision({1, 2}, {1, 2, 3, 4}) == 0.5
+
+    def test_recall_counts_query_side(self):
+        assert recall({1, 2, 3, 4}, {1, 2}) == 0.5
+
+    def test_precision_empty_category(self):
+        assert precision({1}, set()) == 0.0
+
+    def test_recall_empty_query(self):
+        assert recall(set(), {1}) == 1.0
+
+    def test_f1_matches_harmonic_mean(self):
+        q, c = {1, 2, 3}, {2, 3, 4, 5}
+        p, r = precision(q, c), recall(q, c)
+        assert math.isclose(f1(q, c), 2 * p * r / (p + r))
+
+    def test_paper_example_precision(self):
+        # Figure 2: C1 = {a..f} vs q1 = {a..e}: precision 5/6.
+        c1 = {"a", "b", "c", "d", "e", "f"}
+        q1 = {"a", "b", "c", "d", "e"}
+        assert math.isclose(precision(q1, c1), 5 / 6)
+        assert recall(q1, c1) == 1.0
+
+
+class TestSizeForms:
+    @given(small_sets, small_sets)
+    def test_jaccard_from_sizes_consistent(self, a, b):
+        assert math.isclose(
+            jaccard(a, b),
+            jaccard_from_sizes(len(a), len(b), len(a & b)),
+        )
+
+    @given(small_sets, small_sets)
+    def test_f1_from_sizes_consistent(self, a, b):
+        assert math.isclose(
+            f1(a, b), f1_from_sizes(len(a), len(b), len(a & b))
+        )
+
+    @given(small_sets, small_sets)
+    def test_jaccard_symmetric(self, a, b):
+        assert math.isclose(jaccard(a, b), jaccard(b, a))
+
+    @given(small_sets, small_sets)
+    def test_f1_at_least_jaccard(self, a, b):
+        # F1 = 2J/(1+J) >= J for J in [0, 1].
+        assert f1(a, b) >= jaccard(a, b) - 1e-12
+
+    @given(small_sets, small_sets)
+    def test_similarities_in_unit_interval(self, a, b):
+        for kind in SimilarityKind:
+            value = raw_similarity(kind, a, b)
+            assert -1e-12 <= value <= 1.0 + 1e-12
+
+
+class TestVariantScore:
+    def test_cutoff_keeps_raw_value(self):
+        v = Variant.cutoff_jaccard(0.5)
+        assert math.isclose(variant_score(v, {1, 2, 3}, {2, 3, 4}), 0.5)
+
+    def test_cutoff_below_threshold_zero(self):
+        v = Variant.cutoff_jaccard(0.6)
+        assert variant_score(v, {1, 2, 3}, {2, 3, 4}) == 0.0
+
+    def test_threshold_rounds_up_to_one(self):
+        v = Variant.threshold_jaccard(0.5)
+        assert variant_score(v, {1, 2, 3}, {2, 3, 4}) == 1.0
+
+    def test_perfect_recall_requires_full_recall(self):
+        v = Variant.perfect_recall(0.3)
+        assert variant_score(v, {1, 2}, {1, 3, 4}) == 0.0  # recall < 1
+
+    def test_perfect_recall_precision_gate(self):
+        v = Variant.perfect_recall(0.8)
+        # recall 1, precision 2/3 < 0.8
+        assert variant_score(v, {1, 2}, {1, 2, 3}) == 0.0
+        # recall 1, precision 5/6 >= 0.8 (the paper's C1/q1 case)
+        assert variant_score(v, set(range(5)), set(range(6))) == 1.0
+
+    def test_exact_scores_only_identity(self):
+        v = Variant.exact()
+        assert variant_score(v, {1, 2}, {1, 2}) == 1.0
+        assert variant_score(v, {1, 2}, {1, 2, 3}) == 0.0
+        assert variant_score(v, {1, 2}, {1}) == 0.0
+
+    def test_per_set_delta_overrides_default(self):
+        v = Variant.threshold_jaccard(0.9)
+        assert variant_score(v, {1, 2, 3}, {2, 3, 4}, delta=0.5) == 1.0
+
+    def test_covers_is_positive_score(self):
+        v = Variant.threshold_f1(0.5)
+        assert covers(v, {1, 2}, {1, 2, 3})
+        assert not covers(v, {1, 2}, {3, 4})
+
+    @given(small_sets.filter(bool), small_sets)
+    def test_all_variants_converge_at_delta_one(self, q, c):
+        scores = {
+            variant_score(Variant.threshold_jaccard(1.0), q, c),
+            variant_score(Variant.cutoff_jaccard(1.0), q, c),
+            variant_score(Variant.threshold_f1(1.0), q, c),
+            variant_score(Variant.cutoff_f1(1.0), q, c),
+            variant_score(Variant.perfect_recall(1.0), q, c),
+        }
+        assert len(scores) == 1
+        expected = 1.0 if q == c else 0.0
+        assert scores == {expected}
+
+    @given(
+        small_sets.filter(bool),
+        small_sets,
+        st.floats(min_value=0.05, max_value=1.0),
+        st.floats(min_value=0.05, max_value=1.0),
+    )
+    def test_score_monotone_in_delta(self, q, c, d1, d2):
+        lo, hi = sorted((d1, d2))
+        for ctor in (Variant.threshold_jaccard, Variant.cutoff_f1,
+                     Variant.perfect_recall):
+            assert (
+                variant_score_from_sizes(
+                    ctor(lo), len(q), len(c), len(q & c), lo
+                )
+                >= variant_score_from_sizes(
+                    ctor(hi), len(q), len(c), len(q & c), hi
+                )
+                - 1e-12
+            )

@@ -1,0 +1,160 @@
+"""Tests for category trees and validity checking."""
+
+import pytest
+
+from repro.core import CategoryTree, InvalidTreeError
+
+
+def small_tree() -> CategoryTree:
+    tree = CategoryTree()
+    top = tree.add_category({"a", "b", "c"}, label="top")
+    tree.add_category({"a"}, parent=top, label="left")
+    tree.add_category({"b"}, parent=top, label="right")
+    return tree
+
+
+class TestConstruction:
+    def test_root_collects_all_items(self):
+        tree = small_tree()
+        assert tree.root.items == {"a", "b", "c"}
+
+    def test_add_category_propagates_upward(self):
+        tree = CategoryTree()
+        top = tree.add_category({"x"})
+        tree.add_category({"y"}, parent=top)
+        assert "y" in top.items and "y" in tree.root.items
+
+    def test_assign_item_propagates(self):
+        tree = small_tree()
+        leaf = [c for c in tree.categories() if c.label == "left"][0]
+        tree.assign_item(leaf, "z")
+        assert "z" in tree.root.items
+
+    def test_remove_item_clears_subtree(self):
+        tree = small_tree()
+        top = [c for c in tree.categories() if c.label == "top"][0]
+        tree.remove_item(top, "a")
+        assert all("a" not in c.items for c in top.subtree())
+
+    def test_remove_category_splices_children(self):
+        tree = small_tree()
+        top = [c for c in tree.categories() if c.label == "top"][0]
+        children_before = list(top.children)
+        tree.remove_category(top)
+        for child in children_before:
+            assert child.parent is tree.root
+            assert child in tree.root.children
+
+    def test_cannot_remove_root(self):
+        tree = small_tree()
+        with pytest.raises(InvalidTreeError):
+            tree.remove_category(tree.root)
+
+    def test_insert_parent_takes_union(self):
+        tree = small_tree()
+        top = [c for c in tree.categories() if c.label == "top"][0]
+        a, b = top.children
+        node = tree.insert_parent([a, b], label="mid")
+        assert node.items == a.items | b.items
+        assert node.parent is top
+        assert a.parent is node and b.parent is node
+
+    def test_insert_parent_requires_siblings(self):
+        tree = small_tree()
+        top = [c for c in tree.categories() if c.label == "top"][0]
+        with pytest.raises(InvalidTreeError):
+            tree.insert_parent([top, top.children[0]])
+
+    def test_unique_cids(self):
+        tree = small_tree()
+        cids = [c.cid for c in tree.categories()]
+        assert len(cids) == len(set(cids))
+
+
+class TestTraversal:
+    def test_len_counts_categories(self):
+        assert len(small_tree()) == 4  # root + top + 2 leaves
+
+    def test_leaves(self):
+        tree = small_tree()
+        assert {c.label for c in tree.leaves()} == {"left", "right"}
+
+    def test_depth(self):
+        tree = small_tree()
+        leaf = [c for c in tree.categories() if c.label == "left"][0]
+        assert leaf.depth == 2 and tree.root.depth == 0
+
+    def test_path_from_root(self):
+        tree = small_tree()
+        leaf = [c for c in tree.categories() if c.label == "left"][0]
+        labels = [c.label for c in leaf.path_from_root()]
+        assert labels == ["root", "top", "left"]
+
+    def test_find_by_cid(self):
+        tree = small_tree()
+        leaf = tree.leaves()[0]
+        assert tree.find(leaf.cid) is leaf
+        with pytest.raises(KeyError):
+            tree.find(999)
+
+    def test_copy_is_deep(self):
+        tree = small_tree()
+        clone = tree.copy()
+        clone.root.items.add("new")
+        assert "new" not in tree.root.items
+        assert len(clone) == len(tree)
+        assert clone.to_text() != ""
+
+
+class TestValidity:
+    def test_valid_tree_passes(self):
+        small_tree().validate()
+
+    def test_parent_closure_violation_detected(self):
+        tree = small_tree()
+        top = [c for c in tree.categories() if c.label == "top"][0]
+        top.items.discard("a")  # child 'left' still holds 'a'
+        with pytest.raises(InvalidTreeError):
+            tree.validate()
+
+    def test_branch_bound_violation_detected(self):
+        tree = small_tree()
+        top = [c for c in tree.categories() if c.label == "top"][0]
+        left, right = top.children
+        left.items.add("b")  # 'b' now minimal in both leaves
+        with pytest.raises(InvalidTreeError):
+            tree.validate()
+
+    def test_branch_bound_two_allows_duplication(self):
+        tree = small_tree()
+        top = [c for c in tree.categories() if c.label == "top"][0]
+        left, _right = top.children
+        left.items.add("b")
+        tree.validate(bound=2)
+
+    def test_per_item_bound_callable(self):
+        tree = small_tree()
+        top = [c for c in tree.categories() if c.label == "top"][0]
+        left, _right = top.children
+        left.items.add("b")
+        tree.validate(bound=lambda item: 2 if item == "b" else 1)
+        with pytest.raises(InvalidTreeError):
+            tree.validate(bound=lambda item: 1)
+
+    def test_missing_universe_items_detected(self):
+        tree = small_tree()
+        with pytest.raises(InvalidTreeError):
+            tree.validate(universe={"a", "b", "c", "zz"})
+
+    def test_item_on_chain_counts_once(self):
+        tree = CategoryTree()
+        top = tree.add_category({"a", "b"})
+        tree.add_category({"a"}, parent=top)
+        assert tree.item_branch_counts()["a"] == 1
+        assert tree.item_branch_counts()["b"] == 1
+
+    def test_minimal_categories(self):
+        tree = small_tree()
+        minimal = tree.minimal_categories("c")
+        assert [c.label for c in minimal] == ["top"]
+        assert [c.label for c in tree.minimal_categories("a")] == ["left"]

@@ -1,0 +1,77 @@
+"""Tests for the variant specifications (paper Section 2.2)."""
+
+import pytest
+
+from repro.core import InvalidVariantError, ScoreMode, SimilarityKind, Variant
+
+
+class TestConstruction:
+    def test_six_paper_variants_construct(self):
+        variants = [
+            Variant.cutoff_jaccard(0.8),
+            Variant.threshold_jaccard(0.8),
+            Variant.cutoff_f1(0.8),
+            Variant.threshold_f1(0.8),
+            Variant.perfect_recall(0.8),
+            Variant.exact(),
+        ]
+        assert len({(v.kind, v.mode, v.delta) for v in variants}) == 6
+
+    def test_delta_zero_rejected(self):
+        with pytest.raises(InvalidVariantError):
+            Variant.threshold_jaccard(0.0)
+
+    def test_delta_above_one_rejected(self):
+        with pytest.raises(InvalidVariantError):
+            Variant.cutoff_f1(1.5)
+
+    def test_negative_delta_rejected(self):
+        with pytest.raises(InvalidVariantError):
+            Variant.perfect_recall(-0.1)
+
+    def test_perfect_recall_must_be_binary(self):
+        with pytest.raises(InvalidVariantError):
+            Variant(SimilarityKind.PERFECT_RECALL, ScoreMode.CUTOFF, 0.5)
+
+    def test_delta_one_allowed_everywhere(self):
+        for ctor in (
+            Variant.cutoff_jaccard,
+            Variant.threshold_jaccard,
+            Variant.cutoff_f1,
+            Variant.threshold_f1,
+            Variant.perfect_recall,
+        ):
+            assert ctor(1.0).is_exact
+
+
+class TestProperties:
+    def test_exact_is_binary(self):
+        assert Variant.exact().is_binary
+        assert Variant.exact().is_exact
+
+    def test_cutoff_not_binary(self):
+        assert not Variant.cutoff_jaccard(0.5).is_binary
+
+    def test_threshold_is_binary(self):
+        assert Variant.threshold_f1(0.5).is_binary
+
+    def test_perfect_recall_flag(self):
+        assert Variant.perfect_recall(0.4).is_perfect_recall
+        assert not Variant.threshold_jaccard(0.4).is_perfect_recall
+
+    def test_with_delta_changes_only_delta(self):
+        v = Variant.cutoff_f1(0.7)
+        v2 = v.with_delta(0.9)
+        assert (v2.kind, v2.mode, v2.delta) == (v.kind, v.mode, 0.9)
+
+    def test_describe_names_exact(self):
+        assert Variant.exact().describe() == "Exact"
+
+    def test_describe_mentions_mode_and_kind(self):
+        text = Variant.threshold_jaccard(0.8).describe()
+        assert "threshold" in text and "jaccard" in text
+
+    def test_frozen(self):
+        v = Variant.exact()
+        with pytest.raises(AttributeError):
+            v.delta = 0.5  # type: ignore[misc]

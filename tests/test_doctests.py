@@ -1,0 +1,22 @@
+"""Docstring examples must stay executable."""
+
+import doctest
+
+import pytest
+
+import repro.core.input_sets
+import repro.search.analyzer
+import repro.utils.timer
+
+MODULES = [
+    repro.core.input_sets,
+    repro.search.analyzer,
+    repro.utils.timer,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.attempted > 0, f"{module.__name__} lost its examples"
+    assert result.failed == 0

@@ -1,0 +1,104 @@
+"""Tests for title and membership embeddings."""
+
+import numpy as np
+import pytest
+
+from repro.core import make_instance
+from repro.embeddings import (
+    membership_groups,
+    signature_vectors,
+    tfidf_vectors,
+    title_embeddings,
+)
+
+
+class TestTitleEmbeddings:
+    def test_shape(self):
+        vecs = title_embeddings(["black shirt", "red hat"], dim=32)
+        assert vecs.shape == (2, 32)
+
+    def test_l2_normalized(self):
+        vecs = title_embeddings(["black shirt", "red nike hat"], dim=16)
+        norms = np.linalg.norm(vecs, axis=1)
+        assert np.allclose(norms, 1.0)
+
+    def test_empty_title_is_zero(self):
+        vecs = title_embeddings(["", "shirt"], dim=8)
+        assert np.allclose(vecs[0], 0.0)
+
+    def test_identical_titles_identical_vectors(self):
+        vecs = title_embeddings(["black shirt", "black shirt"], dim=16)
+        assert np.allclose(vecs[0], vecs[1])
+
+    def test_similar_titles_closer_than_dissimilar(self):
+        vecs = title_embeddings(
+            [
+                "black nike shirt",
+                "black nike shirt men",
+                "silver samsung phone",
+            ],
+            dim=64,
+        )
+        close = float(vecs[0] @ vecs[1])
+        far = float(vecs[0] @ vecs[2])
+        assert close > far
+
+    def test_deterministic_across_calls(self):
+        a = title_embeddings(["black shirt"], dim=16)
+        b = title_embeddings(["black shirt"], dim=16)
+        assert np.array_equal(a, b)
+
+    def test_bad_dim(self):
+        with pytest.raises(ValueError):
+            title_embeddings(["x"], dim=0)
+
+
+class TestTfidfVectors:
+    def test_normalized_sparse(self):
+        vecs = tfidf_vectors(["black shirt", "black black hat"])
+        for vec in vecs:
+            norm = sum(v * v for v in vec.values()) ** 0.5
+            assert norm == pytest.approx(1.0)
+
+    def test_empty_title(self):
+        assert tfidf_vectors([""]) == [{}]
+
+
+class TestMembership:
+    def test_groups_partition_universe(self):
+        inst = make_instance(
+            [{"a", "b"}, {"b", "c"}], universe={"a", "b", "c", "d"}
+        )
+        groups = membership_groups(inst)
+        all_items = [item for members in groups.members for item in members]
+        assert sorted(all_items, key=str) == ["a", "b", "c", "d"]
+
+    def test_signatures_match_members(self):
+        inst = make_instance([{"a", "b"}, {"b", "c"}])
+        groups = membership_groups(inst)
+        lookup = dict(zip(map(frozenset, groups.signatures), groups.members))
+        assert lookup[frozenset({0})] == ["a"]
+        assert lookup[frozenset({0, 1})] == ["b"]
+        assert lookup[frozenset({1})] == ["c"]
+
+    def test_identical_membership_compressed(self):
+        inst = make_instance([{"a", "b", "c"}])
+        groups = membership_groups(inst)
+        assert len(groups) == 1  # a, b, c share the signature {0}
+
+    def test_signature_vectors(self):
+        inst = make_instance([{"a", "b"}, {"b", "c"}])
+        groups = membership_groups(inst)
+        matrix = signature_vectors(groups, inst)
+        assert matrix.shape == (len(groups), 2)
+        assert set(np.unique(matrix)) <= {0.0, 1.0}
+        # Row sums equal signature sizes.
+        for row, signature in zip(matrix, groups.signatures):
+            assert row.sum() == len(signature)
+
+    def test_exclude_universe(self):
+        inst = make_instance([{"a"}], universe={"a", "z"})
+        with_universe = membership_groups(inst, include_universe=True)
+        without = membership_groups(inst, include_universe=False)
+        assert len(with_universe) == 2
+        assert len(without) == 1

@@ -1,0 +1,204 @@
+"""Tests for the evaluation harness."""
+
+import math
+
+import pytest
+
+from repro.algorithms import CCT, CTCR
+from repro.baselines import ExistingTree
+from repro.catalog import tree_categories_as_input_sets
+from repro.core import CategoryTree, Variant, make_instance
+from repro.evaluation import (
+    contribution_table,
+    delta_range,
+    format_table,
+    print_experiment,
+    reweight_sources,
+    run_comparison,
+    split_instance,
+    threshold_sweep,
+    train_test_evaluation,
+    tree_cohesiveness,
+)
+from repro.utils.rng import make_rng
+
+
+class TestComparison:
+    def test_rows_sorted_best_first(self, figure2_instance):
+        variant = Variant.threshold_jaccard(0.6)
+        rows = run_comparison([CTCR(), CCT()], figure2_instance, variant)
+        scores = [r.normalized_score for r in rows]
+        assert scores == sorted(scores, reverse=True)
+        assert {r.name for r in rows} == {"CTCR", "CCT"}
+
+    def test_rows_report_tree_size_and_time(self, figure2_instance):
+        rows = run_comparison([CTCR()], figure2_instance, Variant.exact())
+        assert rows[0].num_categories >= 2
+        assert rows[0].seconds >= 0.0
+        assert rows[0].covered_count == 2
+
+    def test_validation_enforced(self, figure2_instance):
+        class Broken(CTCR):
+            name = "broken"
+
+            def build(self, instance, variant):
+                tree = CategoryTree()
+                tree.add_category({"a"})
+                tree.add_category({"a"})  # 'a' on two branches
+                return tree
+
+        from repro.core import InvalidTreeError
+
+        with pytest.raises(InvalidTreeError):
+            run_comparison([Broken()], figure2_instance, Variant.exact())
+
+
+class TestTrainTest:
+    def test_split_is_a_partition(self, figure2_instance):
+        train, test = split_instance(figure2_instance, make_rng(1))
+        train_sids = {q.sid for q in train}
+        test_sids = {q.sid for q in test}
+        assert not train_sids & test_sids
+        assert train_sids | test_sids == {0, 1, 2, 3}
+        assert len(train) == 2
+
+    def test_evaluation_shape(self, dataset_a):
+        from repro.pipeline import preprocess
+
+        variant = Variant.threshold_jaccard(0.8)
+        instance, _ = preprocess(dataset_a, variant)
+        results = train_test_evaluation(
+            [CTCR(), CCT()], instance, variant, repetitions=2, seed=0
+        )
+        assert len(results) == 2
+        for r in results:
+            assert r.repetitions == 2
+            assert 0 <= r.mean_test_score <= 1
+            # Held-out scores are predictably lower than in-sample.
+            assert r.mean_test_score <= r.mean_train_score + 0.05
+
+
+class TestContribution:
+    def _mixed_instance(self, dataset):
+        from repro.pipeline import preprocess
+
+        variant = Variant.threshold_jaccard(0.8)
+        instance, _ = preprocess(dataset, variant)
+        existing_sets = tree_categories_as_input_sets(
+            dataset.existing_tree, start_sid=10_000
+        )
+        return instance.with_extra_sets(existing_sets), variant
+
+    def test_reweight_ratio(self, tiny_dataset):
+        instance, _ = self._mixed_instance(tiny_dataset)
+        mixed = reweight_sources(instance, 0.7)
+        query_total = sum(q.weight for q in mixed if q.source == "query")
+        other_total = sum(q.weight for q in mixed if q.source != "query")
+        assert math.isclose(query_total / (query_total + other_total), 0.7)
+
+    def test_reweight_validates_share(self, figure2_instance):
+        with pytest.raises(ValueError):
+            reweight_sources(figure2_instance, 1.5)
+        with pytest.raises(ValueError):
+            # No 'existing' source present at all.
+            reweight_sources(figure2_instance, 0.5)
+
+    def test_table1_tracks_weight_ratio(self, dataset_a):
+        """The score-contribution split should roughly follow the weight
+        split (paper Table 1)."""
+        instance, variant = self._mixed_instance(dataset_a)
+        rows = contribution_table(
+            CTCR(), instance, variant, query_shares=[0.9, 0.1]
+        )
+        assert rows[0].query_score_share > rows[1].query_score_share
+        assert rows[0].query_score_share > 0.5
+        assert rows[1].query_score_share < 0.5
+        for row in rows:
+            assert math.isclose(
+                row.query_score_share + row.existing_score_share, 1.0
+            )
+
+
+class TestCohesiveness:
+    def test_cohesive_categories_score_high(self):
+        tree = CategoryTree()
+        tree.add_category({"p1", "p2"})
+        tree.add_category({"p3", "p4"})
+        titles = {
+            "p1": "black nike shirt",
+            "p2": "black nike shirt men",
+            "p3": "silver samsung phone",
+            "p4": "silver samsung phone 128gb",
+        }
+        report = tree_cohesiveness(tree, titles)
+        assert report.categories_measured == 2
+        assert report.uniform_average > 0.5
+
+    def test_mixed_category_scores_lower(self):
+        cohesive = CategoryTree()
+        cohesive.add_category({"p1", "p2"})
+        mixed = CategoryTree()
+        mixed.add_category({"p1", "p3"})
+        titles = {
+            "p1": "black nike shirt",
+            "p2": "black nike shirt slim",
+            "p3": "silver samsung phone",
+        }
+        high = tree_cohesiveness(cohesive, titles).uniform_average
+        low = tree_cohesiveness(mixed, titles).uniform_average
+        assert high > low
+
+    def test_empty_tree(self):
+        report = tree_cohesiveness(CategoryTree(), {})
+        assert report.categories_measured == 0
+
+    def test_weighted_average_accounts_for_size(self):
+        tree = CategoryTree()
+        tree.add_category({"p1", "p2"})
+        tree.add_category({"p3", "p4", "p5", "p6"})
+        titles = {
+            "p1": "a b", "p2": "a b",
+            "p3": "x", "p4": "y", "p5": "z", "p6": "w",
+        }
+        report = tree_cohesiveness(tree, titles)
+        # The big incoherent category dominates the weighted average.
+        assert report.size_weighted_average < report.uniform_average
+
+
+class TestSweep:
+    def test_delta_range(self):
+        deltas = delta_range(0.5, 0.7, 0.1)
+        assert deltas == [0.5, 0.6, 0.7]
+
+    def test_fine_delta_range_has_no_drift(self):
+        deltas = delta_range(0.5, 1.0, 0.01)
+        assert len(deltas) == 51
+        assert deltas[-1] == 1.0
+
+    def test_scores_tend_upward_as_delta_drops(self, figure2_instance):
+        variant = Variant.threshold_jaccard(0.8)
+        points = threshold_sweep(
+            CTCR(), figure2_instance, variant, deltas=[0.9, 0.5]
+        )
+        assert points[1].normalized_score >= points[0].normalized_score - 1e-9
+
+    def test_points_carry_delta(self, figure2_instance):
+        points = threshold_sweep(
+            CTCR(), figure2_instance, Variant.perfect_recall(0.8), [0.3, 0.7]
+        )
+        assert [p.delta for p in points] == [0.3, 0.7]
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "score"], [["CTCR", 0.75], ["CCT", 0.5]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "0.7500" in text
+
+    def test_print_experiment_returns_block(self, capsys):
+        block = print_experiment(
+            "Fig X", "CTCR wins", ["a"], [[1.0]]
+        )
+        captured = capsys.readouterr().out
+        assert "Fig X" in captured and "Fig X" in block

@@ -1,0 +1,38 @@
+"""Smoke tests: the shipped examples must run end to end."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    module.main()
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart", capsys)
+        assert "Exact" in out
+        assert "Perfect-Recall" in out
+        assert "0.8000" in out  # the paper's optimal T1 score
+
+    def test_fashion_catalog(self, capsys):
+        out = run_example("fashion_catalog", capsys)
+        assert "CTCR" in out and "CCT" in out and "ET" in out
+        assert "label hints" in out
+
+    def test_continual_updates(self, capsys):
+        out = run_example("continual_updates", capsys)
+        assert "Table 1" in out
+        assert "90%/10%" in out

@@ -1,0 +1,95 @@
+"""Tests for the faceted-search effort simulation."""
+
+import pytest
+
+from repro.algorithms import CTCR
+from repro.catalog import generate_products, FASHION
+from repro.core import InputSet, OCTInstance, Variant
+from repro.evaluation import facet_effort, mean_effort
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    products = generate_products(FASHION, 400, seed=21)
+    return products
+
+
+def attribute_set(products, **criteria) -> frozenset:
+    return frozenset(
+        p.pid
+        for p in products
+        if all(p.attributes.get(k) == v for k, v in criteria.items())
+    )
+
+
+class TestFacetEffort:
+    def test_precise_cover_needs_no_steps(self, catalog):
+        items = attribute_set(catalog, product_type="shirt", color="black")
+        inst = OCTInstance([InputSet(sid=0, items=items)])
+        variant = Variant.perfect_recall(0.9)
+        tree = CTCR().build(inst, variant)
+        paths = facet_effort(tree, inst, variant, catalog)
+        assert len(paths) == 1
+        assert paths[0].reached_goal
+        assert paths[0].steps == ()
+
+    def test_broad_cover_filters_down(self, catalog):
+        """A low-precision PR cover reaches the target via facet steps —
+        the scenario that justifies the Perfect-Recall variant."""
+        shirts = attribute_set(catalog, product_type="shirt")
+        black_shirts = attribute_set(
+            catalog, product_type="shirt", color="black"
+        )
+        assert black_shirts < shirts
+        inst = OCTInstance(
+            [
+                InputSet(sid=0, items=shirts, weight=5.0),
+                InputSet(sid=1, items=black_shirts, weight=1.0),
+            ]
+        )
+        # Low precision requirement: both covered by one branch.
+        variant = Variant.perfect_recall(0.2)
+        tree = CTCR().build(inst, variant)
+        paths = facet_effort(
+            tree, inst, variant, catalog, precision_goal=0.95
+        )
+        by_sid = {p.sid: p for p in paths}
+        assert 1 in by_sid
+        narrow = by_sid[1]
+        if narrow.start_precision < 0.95:
+            assert narrow.reached_goal
+            assert 1 <= len(narrow.steps) <= 3
+            assert narrow.final_precision > narrow.start_precision
+
+    def test_mean_effort(self, catalog):
+        shirts = attribute_set(catalog, product_type="shirt")
+        nested = attribute_set(catalog, product_type="shirt", color="black")
+        inst = OCTInstance(
+            [
+                InputSet(sid=0, items=shirts, weight=5.0),
+                InputSet(sid=1, items=nested, weight=1.0),
+            ]
+        )
+        variant = Variant.perfect_recall(0.2)
+        tree = CTCR().build(inst, variant)
+        paths = facet_effort(tree, inst, variant, catalog)
+        assert mean_effort(paths) >= 0.0
+
+    def test_uncovered_sets_have_no_path(self, catalog):
+        items = attribute_set(catalog, product_type="shirt")
+        other = attribute_set(catalog, product_type="pants")
+        # Force a conflict so something stays uncovered.
+        overlap = frozenset(list(items)[:10] + list(other)[:10])
+        inst = OCTInstance(
+            [
+                InputSet(sid=0, items=items | overlap),
+                InputSet(sid=1, items=other | overlap),
+            ]
+        )
+        variant = Variant.perfect_recall(0.9)
+        tree = CTCR().build(inst, variant)
+        paths = facet_effort(tree, inst, variant, catalog)
+        from repro.core import score_tree
+
+        covered = score_tree(tree, inst, variant).covered_count
+        assert len(paths) == covered

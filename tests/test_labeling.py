@@ -1,0 +1,55 @@
+"""Tests for category-label suggestions."""
+
+from repro.algorithms import CTCR
+from repro.core import Variant, make_instance
+from repro.labeling import apply_label_suggestions, suggest_labels
+
+
+class TestSuggestLabels:
+    def test_single_match_uses_its_label(self, figure2_instance):
+        variant = Variant.exact()
+        tree = CTCR().build(figure2_instance, variant)
+        suggestions = suggest_labels(tree, figure2_instance, variant)
+        texts = {s.suggestion for s in suggestions}
+        assert "black shirt" in texts
+        assert "black adidas shirt" in texts
+
+    def test_multi_match_prefers_common_tokens(self):
+        inst = make_instance(
+            [{"a", "b", "c"}, {"a", "b", "c", "d"}],
+            weights=[1.0, 3.0],
+            labels=["black nike shirt", "black shirt"],
+        )
+        variant = Variant.threshold_jaccard(0.7)
+        tree = CTCR().build(inst, variant)
+        suggestions = suggest_labels(tree, inst, variant)
+        for s in suggestions:
+            if len(s.matched_labels) > 1:
+                assert s.suggestion == "black shirt"  # shared tokens
+
+    def test_confidence_is_weight_share(self):
+        inst = make_instance(
+            [{"a", "b"}], weights=[2.0], labels=["black shirt"]
+        )
+        variant = Variant.exact()
+        tree = CTCR().build(inst, variant)
+        (suggestion,) = suggest_labels(tree, inst, variant)
+        assert suggestion.confidence == 1.0
+
+    def test_unlabeled_sets_skipped(self):
+        inst = make_instance([{"a", "b"}])  # no labels
+        tree = CTCR().build(inst, Variant.exact())
+        assert suggest_labels(tree, inst, Variant.exact()) == []
+
+
+class TestApply:
+    def test_applies_only_to_unlabeled(self, figure2_instance):
+        variant = Variant.exact()
+        tree = CTCR().build(figure2_instance, variant)
+        for cat in tree.categories():
+            cat.label = "" if cat.label != "C_misc" else cat.label
+        suggestions = suggest_labels(tree, figure2_instance, variant)
+        applied = apply_label_suggestions(tree, suggestions)
+        assert applied == len(suggestions) > 0
+        labeled = [c for c in tree.categories() if c.label and c.label != "C_misc"]
+        assert len(labeled) >= applied

@@ -1,0 +1,73 @@
+"""Unit tests for labeling helpers and facet filtering internals."""
+
+from repro.evaluation.faceted import _filter_once
+from repro.labeling import _common_tokens
+
+
+class TestCommonTokens:
+    def test_shared_tokens_in_first_label_order(self):
+        labels = ["black adidas shirt", "black shirt"]
+        assert _common_tokens(labels) == ["black", "shirt"]
+
+    def test_no_overlap(self):
+        assert _common_tokens(["red hat", "blue shoe"]) == []
+
+    def test_single_label(self):
+        assert _common_tokens(["black shirt"]) == ["black", "shirt"]
+
+    def test_empty_labels_ignored(self):
+        assert _common_tokens(["", "black shirt"]) == ["black", "shirt"]
+
+    def test_all_empty(self):
+        assert _common_tokens(["", ""]) == []
+
+
+class TestFilterOnce:
+    ATTRS = {
+        "t1": {"type": "shirt", "color": "black"},
+        "t2": {"type": "shirt", "color": "black"},
+        "n1": {"type": "shirt", "color": "red"},
+        "n2": {"type": "hat", "color": "black"},
+    }
+
+    def test_picks_most_discriminating_predicate(self):
+        current = {"t1", "t2", "n1", "n2"}
+        target = frozenset({"t1", "t2"})
+        move = _filter_once(current, target, self.ATTRS)
+        assert move is not None
+        predicate, kept = move
+        # Either shared predicate removes exactly one non-target item;
+        # both are equally good, tie breaks alphabetically.
+        assert predicate in ("color=black", "type=shirt")
+        assert target <= kept
+        assert len(kept) == 3
+
+    def test_never_drops_target_items(self):
+        current = {"t1", "t2", "n1"}
+        target = frozenset({"t1", "t2"})
+        move = _filter_once(current, target, self.ATTRS)
+        assert move is not None
+        _predicate, kept = move
+        assert target <= kept
+
+    def test_no_shared_predicate(self):
+        attrs = {
+            "a": {"type": "shirt"},
+            "b": {"type": "hat"},
+            "x": {"type": "shoe"},
+        }
+        move = _filter_once({"a", "b", "x"}, frozenset({"a", "b"}), attrs)
+        assert move is None
+
+    def test_no_improvement_returns_none(self):
+        # Every current item matches the only shared predicate.
+        current = {"t1", "t2"}
+        target = frozenset({"t1", "t2"})
+        assert _filter_once(current, target, self.ATTRS) is None
+
+    def test_items_without_attributes(self):
+        attrs = {"a": {"type": "shirt"}}
+        move = _filter_once({"a", "ghost"}, frozenset({"a"}), attrs)
+        assert move is not None
+        _predicate, kept = move
+        assert kept == {"a"}

@@ -1,0 +1,180 @@
+"""Tests for the Section 5.4 maintenance tools."""
+
+import pytest
+
+from repro.algorithms import CTCR
+from repro.core import CategoryTree, InvalidTreeError, Variant, make_instance, score_tree
+from repro.maintenance import (
+    apply_placements,
+    classify_new_items,
+    detect_misassigned_items,
+    lower_uncovered_thresholds,
+    orphaned_items,
+    rebuild_subtree,
+    rescue_uncovered,
+    restrict_instance_to_items,
+    uncovered_sets,
+)
+
+
+class TestOutliers:
+    def _tree_and_titles(self):
+        tree = CategoryTree()
+        tree.add_category({"s1", "s2", "s3", "blazer"}, label="shoes")
+        titles = {
+            "s1": "nike running shoe",
+            "s2": "nike running shoe men",
+            "s3": "nike running shoe women",
+            "blazer": "formal wool blazer jacket",
+        }
+        return tree, titles
+
+    def test_detects_the_nike_blazer(self):
+        tree, titles = self._tree_and_titles()
+        reports = detect_misassigned_items(tree, titles)
+        assert reports
+        assert reports[0].item == "blazer"
+        assert reports[0].category_label == "shoes"
+        assert reports[0].similarity_to_centroid < reports[0].category_average
+
+    def test_cohesive_category_clean(self):
+        tree = CategoryTree()
+        tree.add_category({"a", "b", "c", "d"}, label="shirts")
+        titles = {x: "black nike shirt" for x in "abcd"}
+        assert detect_misassigned_items(tree, titles) == []
+
+    def test_small_categories_skipped(self):
+        tree = CategoryTree()
+        tree.add_category({"a", "b"}, label="tiny")
+        titles = {"a": "x", "b": "totally different thing"}
+        assert detect_misassigned_items(tree, titles, min_category_size=4) == []
+
+
+class TestCoverage:
+    def _instance_and_report(self):
+        # One coverable set and one set that conflicts away.
+        inst = make_instance(
+            [set(range(8)), set(range(4, 12))], weights=[2.0, 1.0]
+        )
+        variant = Variant.perfect_recall(0.9)
+        tree = CTCR().build(inst, variant)
+        return inst, variant, score_tree(tree, inst, variant)
+
+    def test_uncovered_sets_sorted_by_weight(self):
+        inst, _v, report = self._instance_and_report()
+        missed = uncovered_sets(inst, report)
+        assert len(missed) == 1
+        assert missed[0].weight == 1.0
+
+    def test_orphaned_items(self):
+        inst, _v, report = self._instance_and_report()
+        orphans = orphaned_items(inst, report)
+        # Items 8..11 appear only in the uncovered set.
+        assert orphans == {8, 9, 10, 11}
+
+    def test_lower_uncovered_thresholds(self):
+        inst, variant, report = self._instance_and_report()
+        relaxed = lower_uncovered_thresholds(
+            inst, report, variant, factor=0.5, weight_boost=2.0
+        )
+        covered_q = relaxed.get(0)
+        missed_q = relaxed.get(1)
+        assert covered_q.threshold is None  # untouched
+        assert missed_q.threshold == pytest.approx(0.45)
+        assert missed_q.weight == 2.0
+
+    def test_lower_thresholds_validates_factor(self):
+        inst, variant, report = self._instance_and_report()
+        with pytest.raises(ValueError):
+            lower_uncovered_thresholds(inst, report, variant, factor=1.5)
+
+    def test_rescue_covers_more(self):
+        inst, variant, _report = self._instance_and_report()
+        result = rescue_uncovered(CTCR(), inst, variant, factor=0.5)
+        assert result.finally_uncovered <= result.initially_uncovered
+        assert result.finally_uncovered == 0
+        result.tree.validate(universe=inst.universe, bound=inst.bound)
+
+    def test_rescue_noop_when_all_covered(self):
+        inst = make_instance([{"a", "b"}, {"c"}])
+        variant = Variant.exact()
+        result = rescue_uncovered(CTCR(), inst, variant)
+        assert result.rounds_used == 0
+        assert result.finally_uncovered == 0
+
+
+class TestSubtreeRebuild:
+    def test_restrict_instance(self):
+        inst = make_instance([{"a", "b"}, {"a", "x", "y"}, {"x"}])
+        sub = restrict_instance_to_items(inst, frozenset({"a", "b"}))
+        # Set 0 fully inside; set 1 only 1/3 inside (dropped); set 2 outside.
+        assert [q.sid for q in sub] == [0]
+        assert sub.universe == {"a", "b"}
+
+    def test_rebuild_replaces_descendants_only(self):
+        inst = make_instance(
+            [{"a", "b"}, {"c", "d"}, {"a", "b", "c", "d"}],
+            weights=[1.0, 1.0, 1.0],
+        )
+        variant = Variant.exact()
+        tree = CategoryTree()
+        target = tree.add_category({"a", "b", "c", "d"}, label="target")
+        stale = tree.add_category({"a"}, parent=target, label="stale")
+        other = tree.add_category({"zz"}, label="other")
+
+        rebuild_subtree(tree, target, inst, variant, CTCR())
+        labels = {c.label for c in target.descendants()}
+        assert "stale" not in labels
+        assert other.parent is tree.root  # untouched
+        tree.validate()
+        # The rebuilt subtree now covers the two sub-queries.
+        report = score_tree(tree, inst, variant)
+        assert report.per_set[0].covered and report.per_set[1].covered
+
+    def test_rebuild_root_rejected(self):
+        inst = make_instance([{"a"}])
+        tree = CategoryTree()
+        tree.root.items.add("a")
+        with pytest.raises(InvalidTreeError):
+            rebuild_subtree(tree, tree.root, inst, Variant.exact(), CTCR())
+
+
+class TestClassify:
+    def test_new_item_goes_to_similar_category(self):
+        tree = CategoryTree()
+        shoes = tree.add_category({"s1", "s2"}, label="shoes")
+        shirts = tree.add_category({"t1", "t2"}, label="shirts")
+        existing = {
+            "s1": "nike running shoe",
+            "s2": "adidas running shoe",
+            "t1": "black cotton shirt",
+            "t2": "white cotton shirt",
+        }
+        new = {"n1": "puma running shoe", "n2": "red cotton shirt"}
+        placements = classify_new_items(tree, existing, new)
+        by_item = {p.item: p.category_label for p in placements}
+        assert by_item == {"n1": "shoes", "n2": "shirts"}
+
+    def test_apply_placements_inserts_with_closure(self):
+        tree = CategoryTree()
+        shoes = tree.add_category({"s1", "s2"}, label="shoes")
+        existing = {"s1": "nike shoe", "s2": "adidas shoe"}
+        placements = classify_new_items(tree, existing, {"n1": "puma shoe"})
+        apply_placements(tree, placements)
+        assert "n1" in shoes.items and "n1" in tree.root.items
+        tree.validate()
+
+    def test_misc_not_a_candidate(self):
+        tree = CategoryTree()
+        tree.add_category({"s1", "s2"}, label="C_misc")
+        tree.add_category({"t1", "t2"}, label="shirts")
+        existing = {
+            "s1": "nike shoe", "s2": "adidas shoe",
+            "t1": "black shirt", "t2": "white shirt",
+        }
+        placements = classify_new_items(tree, existing, {"n": "puma shoe"})
+        assert all(p.category_label != "C_misc" for p in placements)
+
+    def test_empty_inputs(self):
+        tree = CategoryTree()
+        assert classify_new_items(tree, {}, {}) == []

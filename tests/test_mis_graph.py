@@ -1,0 +1,69 @@
+"""Tests for the weighted-graph container."""
+
+import pytest
+
+from repro.mis import WeightedGraph
+
+
+def triangle() -> WeightedGraph:
+    return WeightedGraph.from_edges(
+        "abc", [("a", "b"), ("b", "c"), ("a", "c")], {"a": 3.0}
+    )
+
+
+class TestBasics:
+    def test_default_weight_is_one(self):
+        g = triangle()
+        assert g.weights["b"] == 1.0 and g.weights["a"] == 3.0
+
+    def test_no_self_loops(self):
+        g = WeightedGraph(["a"])
+        with pytest.raises(ValueError):
+            g.add_edge("a", "a")
+
+    def test_edge_needs_vertices(self):
+        g = WeightedGraph(["a"])
+        with pytest.raises(KeyError):
+            g.add_edge("a", "z")
+
+    def test_remove_vertex_drops_incident_edges(self):
+        g = triangle()
+        g.remove_vertex("b")
+        assert g.num_edges == 1
+        assert "b" not in g
+
+    def test_degree_and_neighbors(self):
+        g = triangle()
+        assert g.degree("a") == 2
+        assert g.neighbors("a") == {"b", "c"}
+
+    def test_edges_unique(self):
+        g = triangle()
+        assert len(g.edges()) == 3
+
+    def test_subgraph(self):
+        g = triangle()
+        sub = g.subgraph({"a", "b"})
+        assert sub.num_edges == 1
+        assert sub.weights["a"] == 3.0
+
+    def test_copy_is_independent(self):
+        g = triangle()
+        clone = g.copy()
+        clone.remove_vertex("a")
+        assert "a" in g and g.num_edges == 3
+
+    def test_connected_components(self):
+        g = WeightedGraph.from_edges("abcde", [("a", "b"), ("c", "d")])
+        comps = sorted(map(sorted, g.connected_components()))
+        assert comps == [["a", "b"], ["c", "d"], ["e"]]
+
+    def test_is_independent_set(self):
+        g = triangle()
+        assert g.is_independent_set({"a"})
+        assert not g.is_independent_set({"a", "b"})
+        assert g.is_independent_set(set())
+
+    def test_weight_of(self):
+        g = triangle()
+        assert g.weight_of({"a", "b"}) == 4.0

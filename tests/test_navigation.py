@@ -1,0 +1,94 @@
+"""Tests for navigability metrics and navigation-aid insertion."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import CTCR
+from repro.core import CategoryTree, Variant, make_instance, score_tree
+from repro.evaluation import (
+    add_navigation_categories,
+    navigation_report,
+)
+
+
+def wide_tree(n_children: int) -> CategoryTree:
+    tree = CategoryTree()
+    for i in range(n_children):
+        tree.add_category({f"i{i}a", f"i{i}b"}, label=f"cat{i:02d}")
+    return tree
+
+
+class TestReport:
+    def test_counts(self):
+        tree = wide_tree(4)
+        report = navigation_report(tree)
+        assert report.num_categories == 5  # root + 4
+        assert report.max_fanout == 4
+        assert report.max_depth == 1
+        assert report.mean_leaf_size == 2.0
+
+    def test_empty_tree(self):
+        report = navigation_report(CategoryTree())
+        assert report.max_fanout == 0
+        assert report.mean_leaf_depth == 0.0
+
+    def test_click_estimate_grows_with_fanout(self):
+        narrow = navigation_report(wide_tree(3))
+        # Deeper but narrower tree after splitting.
+        wide = navigation_report(wide_tree(30))
+        assert wide.click_estimate > narrow.click_estimate
+
+
+class TestNavigationAid:
+    def test_splits_large_fanout(self):
+        tree = wide_tree(30)
+        added = add_navigation_categories(tree, max_children=10)
+        assert added >= 3
+        report = navigation_report(tree)
+        assert report.max_fanout <= 10
+        tree.validate()
+
+    def test_noop_on_small_fanout(self):
+        tree = wide_tree(5)
+        assert add_navigation_categories(tree, max_children=10) == 0
+
+    def test_group_labels_span_range(self):
+        tree = wide_tree(24)
+        add_navigation_categories(tree, max_children=12)
+        labels = [c.label for c in tree.root.children]
+        assert any("–" in label for label in labels)
+
+    def test_rejects_bad_max_children(self):
+        with pytest.raises(ValueError):
+            add_navigation_categories(wide_tree(3), max_children=1)
+
+    def test_score_never_decreases(self, figure2_instance):
+        """Paper Section 2.3: intermediate nodes can be added without
+        affecting the score."""
+        variant = Variant.threshold_jaccard(0.6)
+        tree = CTCR().build(figure2_instance, variant)
+        before = score_tree(tree, figure2_instance, variant).normalized
+        add_navigation_categories(tree, max_children=2)
+        tree.validate(universe=figure2_instance.universe)
+        after = score_tree(tree, figure2_instance, variant).normalized
+        assert after >= before - 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.sets(st.integers(0, 12), min_size=1, max_size=5),
+            min_size=1,
+            max_size=6,
+        ),
+        st.integers(min_value=2, max_value=4),
+    )
+    def test_property_validity_and_score_preserved(self, raw_sets, fanout):
+        inst = make_instance(raw_sets)
+        variant = Variant.threshold_jaccard(0.5)
+        tree = CTCR().build(inst, variant)
+        before = score_tree(tree, inst, variant).normalized
+        add_navigation_categories(tree, max_children=fanout)
+        tree.validate(universe=inst.universe, bound=inst.bound)
+        after = score_tree(tree, inst, variant).normalized
+        assert after >= before - 1e-9

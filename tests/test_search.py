@@ -1,0 +1,125 @@
+"""Tests for the search-engine substrate."""
+
+import pytest
+
+from repro.search import InvertedIndex, SearchEngine, tokenize
+from repro.search.analyzer import light_stem
+
+
+class TestAnalyzer:
+    def test_lowercase_and_split(self):
+        assert tokenize("Black NIKE Shirt") == ["black", "nike", "shirt"]
+
+    def test_stemming_is_consistent_between_title_and_query(self):
+        # "adidas" stems to "adida" on both sides, so retrieval still works.
+        assert tokenize("adidas shirt") == tokenize("Adidas Shirts")
+
+    def test_punctuation_split(self):
+        assert tokenize("t-shirt, 128GB!") == ["t", "shirt", "128gb"]
+
+    def test_stopwords_dropped(self):
+        assert tokenize("shirts for men") == ["shirt", "men"]
+
+    def test_stopwords_kept_when_asked(self):
+        assert "for" in tokenize("shirts for men", drop_stopwords=False)
+
+    def test_light_stem_plural(self):
+        assert light_stem("shirts") == "shirt"
+        assert light_stem("cameras") == "camera"
+
+    def test_light_stem_keeps_short_and_ss(self):
+        assert light_stem("dress") == "dress"
+        assert light_stem("gps") == "gps"
+
+    def test_plural_query_matches_singular_title(self):
+        assert tokenize("memory cards") == tokenize("memory card")
+
+
+class TestIndex:
+    def test_add_and_lookup(self):
+        index = InvertedIndex()
+        index.add(1, "black shirt")
+        index.add(2, "red shirt")
+        assert index.document_frequency("shirt") == 2
+        assert index.document_frequency("black") == 1
+        assert len(index) == 2
+
+    def test_duplicate_doc_rejected(self):
+        index = InvertedIndex()
+        index.add(1, "x")
+        with pytest.raises(ValueError):
+            index.add(1, "y")
+
+    def test_idf_decreases_with_frequency(self):
+        index = InvertedIndex()
+        index.add(1, "common rare")
+        index.add(2, "common")
+        assert index.idf("rare") > index.idf("common")
+
+    def test_candidates(self):
+        index = InvertedIndex()
+        index.add(1, "black shirt")
+        index.add(2, "red hat")
+        assert index.candidates(["black", "hat"]) == {1, 2}
+        assert index.candidates(["nothing"]) == set()
+
+
+class TestEngine:
+    def make_engine(self) -> SearchEngine:
+        engine = SearchEngine()
+        engine.add_documents(
+            {
+                "p1": "black adidas shirt",
+                "p2": "black nike shirt",
+                "p3": "red nike shirt",
+                "p4": "blue nike hat",
+            }
+        )
+        return engine
+
+    def test_full_match_scores_one(self):
+        engine = self.make_engine()
+        hits = {h.doc_id: h.relevance for h in engine.search("black adidas shirt")}
+        assert hits["p1"] == pytest.approx(1.0)
+
+    def test_partial_match_scores_below_one(self):
+        engine = self.make_engine()
+        hits = {h.doc_id: h.relevance for h in engine.search("black adidas shirt")}
+        assert 0 < hits["p2"] < 1.0
+
+    def test_results_sorted_by_relevance(self):
+        engine = self.make_engine()
+        hits = engine.search("black adidas shirt")
+        rels = [h.relevance for h in hits]
+        assert rels == sorted(rels, reverse=True)
+
+    def test_top_k(self):
+        engine = self.make_engine()
+        assert len(engine.search("shirt", top_k=2)) == 2
+
+    def test_empty_query(self):
+        assert self.make_engine().search("") == []
+
+    def test_unknown_tokens_only(self):
+        engine = self.make_engine()
+        hits = engine.search("qwertyuiop")
+        assert hits == []
+
+    def test_result_set_thresholding(self):
+        engine = self.make_engine()
+        strict = engine.result_set("black adidas shirt", 0.99)
+        loose = engine.result_set("black adidas shirt", 0.1)
+        assert strict == {"p1"}
+        assert strict <= loose
+        assert "p4" not in engine.result_set("black adidas shirt", 0.5)
+
+    def test_relevance_in_unit_interval(self):
+        engine = self.make_engine()
+        for hit in engine.search("black nike shirt"):
+            assert 0.0 <= hit.relevance <= 1.0
+
+    def test_plural_query_same_results(self):
+        engine = self.make_engine()
+        a = engine.result_set("nike shirts", 0.8)
+        b = engine.result_set("nike shirt", 0.8)
+        assert a == b

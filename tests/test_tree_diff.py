@@ -1,0 +1,96 @@
+"""Tests for structural tree diffing."""
+
+import pytest
+
+from repro.core import CategoryTree
+from repro.evaluation import diff_trees
+
+
+def tree_with(categories: dict[str, set]) -> CategoryTree:
+    tree = CategoryTree()
+    for label, items in categories.items():
+        tree.add_category(items, label=label)
+    return tree
+
+
+class TestDiff:
+    def test_identical_trees(self):
+        a = tree_with({"x": {"1", "2"}, "y": {"3"}})
+        b = tree_with({"x": {"1", "2"}, "y": {"3"}})
+        diff = diff_trees(a, b)
+        assert len(diff.matches) == 2
+        assert diff.removed_cids == () and diff.added_cids == ()
+        assert diff.mean_matched_similarity == 1.0
+        assert diff.survival_rate == 1.0
+        assert diff.item_stability == 1.0
+
+    def test_removed_and_added(self):
+        old = tree_with({"gone": {"1", "2"}})
+        new = tree_with({"fresh": {"8", "9"}})
+        diff = diff_trees(old, new)
+        assert not diff.matches
+        assert len(diff.removed_cids) == 1
+        assert len(diff.added_cids) == 1
+        assert diff.survival_rate == 0.0
+        assert diff.item_stability == 0.0
+
+    def test_partial_match_similarity(self):
+        old = tree_with({"a": {"1", "2", "3", "4"}})
+        new = tree_with({"a2": {"1", "2", "3", "9"}})
+        diff = diff_trees(old, new)
+        assert len(diff.matches) == 1
+        assert diff.matches[0].similarity == pytest.approx(3 / 5)
+
+    def test_min_similarity_gate(self):
+        old = tree_with({"a": {"1", "2", "3", "4"}})
+        new = tree_with({"b": {"4", "9", "8", "7"}})
+        assert diff_trees(old, new, min_similarity=0.5).matches == ()
+        assert len(diff_trees(old, new, min_similarity=0.1).matches) == 1
+
+    def test_one_to_one_matching(self):
+        old = tree_with({"a": {"1", "2"}, "b": {"1", "3"}})
+        new = tree_with({"m": {"1", "2"}})
+        diff = diff_trees(old, new, min_similarity=0.3)
+        assert len(diff.matches) == 1
+        # Best match wins: 'a' pairs with 'm' at similarity 1.
+        assert diff.matches[0].similarity == 1.0
+        assert len(diff.removed_cids) == 1
+
+    def test_item_stability_counts_moves(self):
+        old = tree_with({"a": {"1", "2", "3"}})
+        new = tree_with({"a": {"1", "2", "9"}})  # item 3 evicted
+        diff = diff_trees(old, new)
+        assert diff.item_stability == pytest.approx(2 / 3)
+
+    def test_conservative_updates_shrink_the_diff(self, dataset_a):
+        """Raising the existing-categories weight share must yield a tree
+        closer to the existing tree (the paper's control-knob claim)."""
+        from repro.algorithms import CTCR
+        from repro.catalog import tree_categories_as_input_sets
+        from repro.core import Variant
+        from repro.evaluation import reweight_sources
+        from repro.pipeline import preprocess
+
+        variant = Variant.threshold_jaccard(0.8)
+        queries, _ = preprocess(dataset_a, variant)
+        existing_sets = tree_categories_as_input_sets(
+            dataset_a.existing_tree, start_sid=50_000
+        )
+        mixed = queries.with_extra_sets(existing_sets)
+        builder = CTCR()
+        conservative = builder.build(
+            reweight_sources(mixed, 0.1), variant
+        )
+        aggressive = builder.build(
+            reweight_sources(mixed, 0.9), variant
+        )
+        diff_conservative = diff_trees(
+            dataset_a.existing_tree, conservative, min_similarity=0.5
+        )
+        diff_aggressive = diff_trees(
+            dataset_a.existing_tree, aggressive, min_similarity=0.5
+        )
+        assert (
+            diff_conservative.survival_rate
+            >= diff_aggressive.survival_rate - 0.02
+        )

@@ -1,0 +1,82 @@
+"""Tests for query-log trend detection."""
+
+import pytest
+
+from repro.catalog import (
+    FASHION,
+    detect_trending_queries,
+    fading_queries,
+    generate_query_log,
+)
+from repro.catalog.queries import QueryLog, RawQuery
+
+
+def log_with(counts: dict[str, list[int]], days: int = 30) -> QueryLog:
+    return QueryLog(
+        queries=[
+            RawQuery(text=text, daily_counts=tuple(c))
+            for text, c in counts.items()
+        ],
+        days=days,
+    )
+
+
+class TestTrendDetection:
+    def test_detects_injected_spike(self):
+        log = generate_query_log(
+            FASHION, 40, seed=3, trend_queries=["kobe memorabilia"]
+        )
+        trends = detect_trending_queries(log, window=14)
+        assert any(t.text == "kobe memorabilia" for t in trends)
+
+    def test_steady_queries_not_trending(self):
+        log = log_with({"steady": [10] * 30})
+        assert detect_trending_queries(log, window=10) == []
+
+    def test_lift_computed(self):
+        log = log_with({"spike": [2] * 20 + [20] * 10})
+        (trend,) = detect_trending_queries(log, window=10)
+        assert trend.lift == pytest.approx(10.0)
+        assert trend.recent_daily == pytest.approx(20.0)
+        assert trend.baseline_daily == pytest.approx(2.0)
+
+    def test_new_query_infinite_lift(self):
+        log = log_with({"fresh": [0] * 20 + [9] * 10})
+        (trend,) = detect_trending_queries(log, window=10)
+        assert trend.lift == float("inf")
+
+    def test_small_spikes_filtered(self):
+        log = log_with({"blip": [0] * 25 + [2] * 5})
+        assert detect_trending_queries(log, window=5) == []
+
+    def test_sorted_by_lift(self):
+        log = log_with(
+            {
+                "big": [1] * 20 + [30] * 10,
+                "small": [2] * 20 + [12] * 10,
+            }
+        )
+        trends = detect_trending_queries(log, window=10)
+        assert [t.text for t in trends] == ["big", "small"]
+
+    def test_bad_window_rejected(self):
+        log = log_with({"q": [1] * 30})
+        with pytest.raises(ValueError):
+            detect_trending_queries(log, window=0)
+        with pytest.raises(ValueError):
+            detect_trending_queries(log, window=30)
+
+
+class TestFadingQueries:
+    def test_detects_collapse(self):
+        log = log_with({"world cup jersey": [20] * 25 + [1] * 5})
+        fading = fading_queries(log, window=5)
+        assert [q.text for q in fading] == ["world cup jersey"]
+
+    def test_steady_not_fading(self):
+        log = log_with({"steady": [10] * 30})
+        assert fading_queries(log, window=5) == []
+
+    def test_low_baseline_ignored(self):
+        log = log_with({"rare": [1] * 25 + [0] * 5})
+        assert fading_queries(log, window=5) == []
