@@ -64,16 +64,22 @@ def assign_safe_items(
 # ---------------------------------------------------------------------------
 
 
-def cover_gap(ctx: BuildContext, q: InputSet) -> int | None:
+def cover_gap(
+    ctx: BuildContext, q: InputSet, c_in: int | None = None
+) -> int | None:
     """Items from ``q`` that must be added to ``C(q)`` to cover it.
 
     Returns ``None`` when no number of additions from ``q`` can reach the
     threshold (the category already carries too many foreign items).
+    ``c_in`` optionally supplies a precomputed ``|C(q).items & q.items|``
+    (the bitset kernel batches these across sets — see
+    :func:`_cover_intersections`).
     """
     cat = ctx.designated[q.sid]
     delta = ctx.delta(q)
     q_size = len(q.items)
-    c_in = len(cat.items & q.items)
+    if c_in is None:
+        c_in = len(cat.items & q.items)
     c_out = len(cat.items) - c_in
     kind = ctx.variant.kind
     if kind is SimilarityKind.PERFECT_RECALL:
@@ -94,9 +100,34 @@ def _gain_factor(ctx: BuildContext, q: InputSet) -> float | None:
     gap = cover_gap(ctx, q)
     if gap is None:
         return None
+    return _factor_from_gap(q, gap)
+
+
+def _factor_from_gap(q: InputSet, gap: int) -> float:
     if gap == 0:
         return math.inf
     return q.weight / gap
+
+
+def _cover_intersections(
+    ctx: BuildContext, pending: list[InputSet]
+) -> dict[int, int] | None:
+    """``{sid: |C(q).items & q.items|}`` for all pending sets, batched.
+
+    Uses the build context's bitset kernel when present: the designated
+    categories' current item sets are packed once and intersected against
+    the pre-packed input-set rows in a single popcount pass. Returns
+    ``None`` (caller falls back to per-set ``len(&)``) without a kernel.
+    """
+    uni = ctx.bitset
+    if uni is None or not pending:
+        return None
+    rows = [uni.row_of[q.sid] for q in pending]
+    packed = uni.pack_many(
+        [ctx.designated[q.sid].items for q in pending]
+    )
+    inter = uni.rowwise_intersections(rows, packed)
+    return {q.sid: int(v) for q, v in zip(pending, inter)}
 
 
 # ---------------------------------------------------------------------------
@@ -265,25 +296,33 @@ def assign_duplicates(
     failed: set[int] = set()
 
     while True:
-        # Gain factors of the sets still uncovered but coverable.
+        # Gain factors of the sets still uncovered but coverable. The
+        # cover intersections behind the gaps are batched through the
+        # bitset kernel when one is attached to the context.
+        pending = [
+            q
+            for q in selected
+            if q.sid not in failed and not ctx.covered_on_branch(q)
+        ]
+        batched = _cover_intersections(ctx, pending)
         gains: dict[int, float] = {}
-        for q in selected:
-            if q.sid in failed or ctx.covered_on_branch(q):
+        gaps: dict[int, int] = {}
+        for q in pending:
+            gap = cover_gap(
+                ctx, q, c_in=None if batched is None else batched[q.sid]
+            )
+            if gap is None:
                 continue
-            factor = _gain_factor(ctx, q)
-            if factor is None:
-                continue
-            gap = cover_gap(ctx, q)
             available = _available_for(ctx, q, duplicates)
-            if gap is not None and gap <= len(available):
-                gains[q.sid] = factor
+            if gap <= len(available):
+                gains[q.sid] = _factor_from_gap(q, gap)
+                gaps[q.sid] = gap
         if not gains:
             break
 
         best_sid = max(gains, key=lambda sid: (gains[sid], -sid))
         best = ctx.instance.get(best_sid)
-        gap = cover_gap(ctx, best)
-        assert gap is not None
+        gap = gaps[best_sid]
         anchor = ctx.designated[best_sid]
         candidates = _available_for(ctx, best, duplicates)
         ranked: list[tuple[float, Item, Category]] = []

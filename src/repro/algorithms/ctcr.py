@@ -33,6 +33,8 @@ from repro.conflicts.hypergraph import (
 )
 from repro.conflicts.ranking import Ranking, rank_sets
 from repro.conflicts.two_conflicts import PairwiseAnalysis, compute_pairwise
+from repro.core import bitset
+from repro.core.bitset import BitsetUniverse
 from repro.core.input_sets import InputSet, OCTInstance
 from repro.core.tree import Category, CategoryTree
 from repro.core.variants import SimilarityKind, Variant
@@ -42,13 +44,21 @@ from repro.mis.solver import MISConfig, solve_conflicts
 
 @dataclass(frozen=True)
 class CTCRConfig:
-    """Tuning and ablation switches for CTCR."""
+    """Tuning and ablation switches for CTCR.
+
+    ``use_bitset`` selects the engine for batched set intersections
+    (2-conflict classification, cover scoring): ``True`` forces the
+    packed-bitset kernel of :mod:`repro.core.bitset`, ``False`` the
+    set-based paths, ``None`` (default) auto-selects by instance size.
+    Both engines build identical trees.
+    """
 
     mis: MISConfig = field(default_factory=MISConfig)
     n_jobs: int = 1
     use_three_conflicts: bool = True
     add_intermediate: bool = True
     condense: bool = True
+    use_bitset: bool | None = None
 
 
 @dataclass
@@ -85,8 +95,20 @@ class CTCR(TreeBuilder):
         self.last_diagnostics = diag
 
         ranking = rank_sets(instance)
+        universe = None
+        if bitset.should_use(
+            len(instance), len(instance.universe), self.config.use_bitset
+        ):
+            # One packed universe serves both the pairwise stage and the
+            # per-category cover scores of the assignment stage.
+            universe = BitsetUniverse.from_instance(instance)
         analysis = compute_pairwise(
-            instance, variant, ranking, n_jobs=self.config.n_jobs
+            instance,
+            variant,
+            ranking,
+            n_jobs=self.config.n_jobs,
+            use_bitset=self.config.use_bitset,
+            universe=universe,
         )
         conflict_structure = self._conflict_structure(
             instance, variant, analysis, diag
@@ -105,7 +127,9 @@ class CTCR(TreeBuilder):
         diag.selected_weight = sum(q.weight for q in selected)
 
         tree = CategoryTree()
-        ctx = BuildContext(tree=tree, instance=instance, variant=variant)
+        ctx = BuildContext(
+            tree=tree, instance=instance, variant=variant, bitset=universe
+        )
         self._build_skeleton(ctx, selected, ranking, analysis)
         duplicates = assign_safe_items(ctx, selected)
 

@@ -21,7 +21,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.algorithms import CCT, CTCR
+from repro.algorithms import CCT, CTCR, CTCRConfig
 from repro.algorithms.base import TreeBuilder
 from repro.baselines import ExistingTree, ICQ, ICS
 from repro.catalog import DATASET_SPECS, load_dataset
@@ -72,9 +72,29 @@ def _load(args) -> tuple:
     return instance, dataset, variant
 
 
-def _builder(name: str, dataset) -> TreeBuilder:
+def _jobs_arg(raw: str) -> int:
+    """Validate --jobs up front so both engines reject it identically."""
+    value = int(raw)
+    if value != -1 and value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be >= 1, or -1 for all CPUs (got {value})"
+        )
+    return value
+
+
+def _ctcr_config(args) -> CTCRConfig:
+    """CTCR tuning from the common CLI flags (--jobs, --bitset)."""
+    use_bitset = {"auto": None, "on": True, "off": False}[
+        getattr(args, "bitset", "auto")
+    ]
+    return CTCRConfig(
+        n_jobs=getattr(args, "jobs", 1), use_bitset=use_bitset
+    )
+
+
+def _builder(name: str, dataset, args=None) -> TreeBuilder:
     if name == "ctcr":
-        return CTCR()
+        return CTCR(_ctcr_config(args) if args is not None else None)
     if name == "cct":
         return CCT()
     if dataset is None:
@@ -90,7 +110,7 @@ def _builder(name: str, dataset) -> TreeBuilder:
 
 def cmd_build(args) -> int:
     instance, dataset, variant = _load(args)
-    builder = _builder(args.algorithm, dataset)
+    builder = _builder(args.algorithm, dataset, args)
     tree = builder.build(instance, variant)
     tree.validate(universe=instance.universe, bound=instance.bound)
     report = score_tree(tree, instance, variant)
@@ -121,7 +141,7 @@ def cmd_evaluate(args) -> int:
 def cmd_compare(args) -> int:
     instance, dataset, variant = _load(args)
     names = ["ctcr", "cct", "ic-q", "ic-s", "et"] if dataset else ["ctcr", "cct"]
-    builders = [_builder(n, dataset) for n in names]
+    builders = [_builder(n, dataset, args) for n in names]
     rows = run_comparison(builders, instance, variant)
     print(
         format_table(
@@ -139,7 +159,7 @@ def cmd_compare(args) -> int:
 def cmd_sweep(args) -> int:
     instance, _dataset, variant = _load(args)
     deltas = delta_range(args.start, args.stop, args.step)
-    points = threshold_sweep(CTCR(), instance, variant, deltas)
+    points = threshold_sweep(CTCR(_ctcr_config(args)), instance, variant, deltas)
     print(
         format_table(
             ["delta", "score", "covered"],
@@ -206,6 +226,21 @@ def make_parser() -> argparse.ArgumentParser:
             "--variant",
             default="threshold-jaccard:0.8",
             help="e.g. threshold-jaccard:0.8, perfect-recall:0.6, exact",
+        )
+        p.add_argument(
+            "--jobs",
+            type=_jobs_arg,
+            default=1,
+            help="worker processes for CTCR's parallel stages "
+            "(-1 = all CPUs, default: 1)",
+        )
+        p.add_argument(
+            "--bitset",
+            choices=["auto", "on", "off"],
+            default="auto",
+            help="batched-intersection engine for CTCR: the packed "
+            "bitset kernel (on), plain set operations (off), or "
+            "size-based auto-selection (default)",
         )
 
     p_build = sub.add_parser("build", help="build one tree")

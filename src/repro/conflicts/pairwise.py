@@ -127,3 +127,73 @@ def effective_shared(
     so only bound-1 items constrain a separate cover.
     """
     return sum(1 for item in q1.items & q2.items if bound(item) == 1)
+
+
+# ---------------------------------------------------------------------------
+# Vectorized counterparts, used by the bitset kernel path. The expressions
+# mirror the scalar closed forms above term for term (same grouping, same
+# epsilons) so both paths classify every pair bit-for-bit identically;
+# tests/test_ctcr_equivalence.py enforces this.
+# ---------------------------------------------------------------------------
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - the container always has numpy
+    _np = None  # type: ignore[assignment]
+
+
+def max_removable_vec(variant: Variant, sizes, deltas):
+    """``max_removable_items`` for aligned per-set size/threshold arrays."""
+    if variant.kind is SimilarityKind.PERFECT_RECALL:
+        return _np.zeros(len(sizes), dtype=_np.int64)
+    if variant.kind is SimilarityKind.JACCARD:
+        raw = _np.floor(sizes * (1.0 - deltas) + _EPS)
+    else:  # F1, same algebra as the scalar form
+        raw = _np.floor(
+            sizes * (2.0 * (1.0 - deltas)) / (2.0 - deltas) + _EPS
+        )
+    return _np.where(deltas >= 1.0, 0, raw.astype(_np.int64))
+
+
+def classify_pairs_vec(
+    variant: Variant,
+    sizes,
+    deltas,
+    ranks,
+    ii,
+    jj,
+    inter,
+    shared_bound1,
+):
+    """(can_separately, can_together) boolean arrays for pair positions.
+
+    ``sizes``/``deltas``/``ranks`` are per-set arrays; ``ii``/``jj`` index
+    the pairs into them; ``inter``/``shared_bound1`` are the per-pair
+    intersection sizes. Orientation follows the ranking exactly as in
+    :func:`can_cover_together`: the upper set is the one with the smaller
+    rank number.
+    """
+    removable = max_removable_vec(variant, sizes, deltas)
+    x1 = _np.minimum(removable[ii], shared_bound1)
+    x2 = _np.minimum(removable[jj], shared_bound1)
+    separately = shared_bound1 <= x1 + x2
+
+    upper_is_i = ranks[ii] < ranks[jj]
+    s_u = _np.where(upper_is_i, sizes[ii], sizes[jj])
+    s_l = _np.where(upper_is_i, sizes[jj], sizes[ii])
+    d_u = _np.where(upper_is_i, deltas[ii], deltas[jj])
+    d_l = _np.where(upper_is_i, deltas[jj], deltas[ii])
+
+    if variant.kind is SimilarityKind.PERFECT_RECALL:
+        union = s_u + s_l - inter
+        together = s_u >= d_u * union - _EPS
+    else:
+        if variant.kind is SimilarityKind.JACCARD:
+            needed_lower = _np.ceil(d_l * s_l - _EPS)
+            budget_upper = s_u * (1.0 - d_u) / d_u
+        else:  # F1
+            needed_lower = _np.ceil(s_l * d_l / (2.0 - d_l) - _EPS)
+            budget_upper = 2.0 * s_u * (1.0 - d_u) / d_u
+        y2 = _np.maximum(0, needed_lower - inter)
+        together = y2 <= budget_upper + _EPS
+    return separately, together

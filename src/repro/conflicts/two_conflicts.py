@@ -15,8 +15,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.conflicts.pairwise import can_cover_separately, can_cover_together
+from repro.core import bitset
+from repro.conflicts.pairwise import (
+    can_cover_separately,
+    can_cover_together,
+    classify_pairs_vec,
+)
 from repro.conflicts.ranking import Ranking, rank_sets
+from repro.core.bitset import BitsetUniverse
 from repro.core.input_sets import InputSet, OCTInstance
 from repro.core.variants import Variant
 from repro.utils.parallel import parallel_map
@@ -113,9 +119,9 @@ def _classify_pair(
     return separately, together
 
 
-# Module-level state for process-pool workers: ProcessPoolExecutor forks
-# (or pickles) this module, so workers read the snapshot installed by
-# _install_worker_state before the pool starts.
+# Module-level state for process-pool workers, installed once per worker
+# via the pool initializer (see utils.parallel) so the instance is not
+# re-pickled with every chunk of jobs.
 _WORKER_STATE: dict = {}
 
 
@@ -142,22 +148,106 @@ def _classify_chunk(jobs: list[_PairJob]) -> list[tuple[bool, bool]]:
     return results
 
 
+def _compute_pairwise_bitset(
+    instance: OCTInstance,
+    variant: Variant,
+    ranking: Ranking,
+    n_jobs: int,
+    universe: BitsetUniverse | None = None,
+) -> PairwiseAnalysis:
+    """Kernel path: batched intersection counts + vectorized closed forms.
+
+    Produces a :class:`PairwiseAnalysis` identical to the set-based path
+    (same pairs, same classification, same intersection sizes) — the
+    differential harness in tests/test_ctcr_equivalence.py pins this.
+    """
+    import numpy as np
+
+    uni = universe if universe is not None else BitsetUniverse.from_instance(instance)
+    ii, jj, inter = uni.intersecting_pairs()
+
+    if instance.uniform_bound() == 1:
+        shared_b1 = inter
+    else:
+        mask = np.fromiter(
+            (instance.bound(item) == 1 for item in uni.items),
+            dtype=bool,
+            count=uni.n_items,
+        )
+        bi, bj, bcounts = uni.intersecting_pairs(item_mask=mask)
+        shared_b1 = np.zeros(ii.size, dtype=np.int64)
+        if bi.size:
+            n = uni.n_sets
+            pos = np.searchsorted(ii * n + jj, bi * n + bj)
+            shared_b1[pos] = bcounts
+
+    deltas = np.array(
+        [instance.effective_threshold(q, variant.delta) for q in instance.sets]
+    )
+    ranks = np.array(
+        [ranking.rank_of[q.sid] for q in instance.sets], dtype=np.int64
+    )
+    separately, together = classify_pairs_vec(
+        variant, uni.sizes, deltas, ranks, ii, jj, inter, shared_b1
+    )
+
+    analysis = PairwiseAnalysis(ranking=ranking)
+    sids_arr = np.fromiter(
+        (q.sid for q in instance.sets), dtype=np.int64, count=len(instance.sets)
+    )
+    upper_is_i = ranks[ii] < ranks[jj]
+    upper = np.where(upper_is_i, sids_arr[ii], sids_arr[jj])
+    lower = np.where(upper_is_i, sids_arr[jj], sids_arr[ii])
+    pairs = list(zip(upper.tolist(), lower.tolist()))
+    analysis.intersections = dict(zip(pairs, inter.tolist()))
+
+    def collect(mask) -> set:
+        return set(
+            zip(upper[mask].tolist(), lower[mask].tolist())
+        )
+
+    analysis.can_separately = collect(separately)
+    analysis.must_together = collect(~separately & together)
+    analysis.conflicts = collect(~separately & ~together)
+    return analysis
+
+
 def compute_pairwise(
     instance: OCTInstance,
     variant: Variant,
     ranking: Ranking | None = None,
     n_jobs: int = 1,
+    use_bitset: bool | None = None,
+    universe: BitsetUniverse | None = None,
 ) -> PairwiseAnalysis:
-    """Classify all intersecting pairs of an instance under a variant."""
+    """Classify all intersecting pairs of an instance under a variant.
+
+    ``use_bitset`` selects the intersection-counting engine: ``True``
+    forces the packed-bitset kernel (:mod:`repro.core.bitset`), ``False``
+    the per-item inverted index, and ``None`` auto-selects by instance
+    size. ``universe`` reuses an already-packed kernel (CTCR shares one
+    across its stages). Both engines produce identical analyses.
+    """
     ranking = ranking or rank_sets(instance)
+    if universe is not None or bitset.should_use(
+        len(instance), len(instance.universe), use_bitset
+    ):
+        return _compute_pairwise_bitset(
+            instance, variant, ranking, n_jobs, universe
+        )
     analysis = PairwiseAnalysis(ranking=ranking)
     jobs: list[_PairJob] = []
     for (a, b), (shared, shared_b1) in _intersection_counts(instance).items():
         upper_sid, lower_sid = analysis.key(a, b)
         jobs.append(_PairJob(upper_sid, lower_sid, shared, shared_b1))
 
-    _install_worker_state(variant, instance, ranking)
-    outcomes = parallel_map(_classify_chunk, jobs, n_jobs=n_jobs)
+    outcomes = parallel_map(
+        _classify_chunk,
+        jobs,
+        n_jobs=n_jobs,
+        initializer=_install_worker_state,
+        initargs=(variant, instance, ranking),
+    )
 
     for job, (separately, together) in zip(jobs, outcomes):
         pair = (job.upper_sid, job.lower_sid)

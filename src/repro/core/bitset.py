@@ -1,0 +1,406 @@
+"""Packed-bitset similarity kernel for batched set comparisons.
+
+The pairwise stages of CTCR (2-conflict classification, cover scoring)
+compare every input set against every other. Doing that through Python
+``set`` intersections costs a dictionary operation per shared item pair;
+this module instead packs each set into a row of a NumPy ``uint64`` bit
+matrix over a shared item universe and answers batched questions with
+bitwise AND + popcount, plus an output-sensitive sparse path for the
+(common) regime where most pairs do not intersect at all.
+
+Two complementary representations live on :class:`BitsetUniverse`:
+
+* **incidence arrays** — flat ``(row, item-code)`` pairs, built eagerly.
+  They drive :meth:`intersecting_pairs`, which enumerates only the pairs
+  that actually share items (cost proportional to the number of shared
+  item pairs, all in vectorized NumPy).
+* **bit matrix** — ``(n_sets, ceil(|U|/64))`` ``uint64`` rows, built
+  lazily on first dense use. It drives the full n x n
+  :meth:`pairwise_intersections` / :meth:`pairwise_jaccard` /
+  :meth:`pairwise_f1` score matrices and the row-vs-packed-category
+  intersections used by the item-assignment stage.
+
+Score conventions match :mod:`repro.core.similarity` bit for bit:
+``jaccard(emptyset, emptyset) = 1``, ``recall(emptyset, C) = 1``,
+``precision(q, emptyset) = 0``.
+
+Everything degrades gracefully: when NumPy is missing,
+:func:`available` returns False and callers fall back to their
+set-based paths (see :func:`should_use`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+try:  # pragma: no cover - exercised implicitly by every import
+    import numpy as np
+except ImportError:  # pragma: no cover - the container always has numpy
+    np = None  # type: ignore[assignment]
+
+from repro.core.variants import ScoreMode, SimilarityKind, Variant
+
+# Same cutoff epsilon as repro.core.similarity.variant_score_from_sizes.
+_SCORE_EPS = 1e-12
+
+# Auto-mode gates: below these the packing overhead outweighs the win.
+_AUTO_MIN_SETS = 48
+_AUTO_MIN_ITEMS = 256
+
+
+def available() -> bool:
+    """True when the NumPy-backed kernel can be used at all."""
+    return np is not None
+
+
+def should_use(
+    n_sets: int, n_items: int, flag: bool | None = None
+) -> bool:
+    """Resolve an opt-in ``use_bitset`` flag against the environment.
+
+    ``True`` forces the kernel (still requires NumPy), ``False`` forces
+    the set-based path, and ``None`` auto-selects: the kernel is used
+    when the instance is large enough for packing to pay off.
+    """
+    if flag is False or not available():
+        return False
+    if flag is True:
+        return True
+    return n_sets >= _AUTO_MIN_SETS and n_items >= _AUTO_MIN_ITEMS
+
+
+if np is not None and hasattr(np, "bitwise_count"):
+
+    def _popcount(a: "np.ndarray") -> "np.ndarray":
+        return np.bitwise_count(a)
+
+elif np is not None:  # pragma: no cover - numpy < 2.0 fallback
+    _BYTE_COUNTS = None
+
+    def _popcount(a: "np.ndarray") -> "np.ndarray":
+        global _BYTE_COUNTS
+        if _BYTE_COUNTS is None:
+            _BYTE_COUNTS = np.array(
+                [bin(i).count("1") for i in range(256)], dtype=np.uint64
+            )
+        by = a.view(np.uint8).reshape(a.shape + (8,))
+        return _BYTE_COUNTS[by].sum(-1)
+
+
+# ---------------------------------------------------------------------------
+# Process-pool state for blocked dense pairwise computation. The matrix is
+# shipped once per worker through the pool initializer (utils.parallel),
+# not re-pickled with every chunk of row blocks.
+# ---------------------------------------------------------------------------
+
+_SHARED: dict = {}
+
+
+def _install_shared_matrix(matrix) -> None:
+    _SHARED["matrix"] = matrix
+
+
+def _block_intersections(ranges: list[tuple[int, int]]) -> list:
+    matrix = _SHARED["matrix"]
+    out = []
+    for lo, hi in ranges:
+        out.append(
+            _popcount(matrix[lo:hi, None, :] & matrix[None, :, :]).sum(
+                -1, dtype=np.int64
+            )
+        )
+    return out
+
+
+class BitsetUniverse:
+    """A family of item sets packed over a shared, indexed universe.
+
+    ``sets`` may be any sequence of iterables of hashable items (plain
+    sets, frozensets, :class:`InputSet` item sets). The universe defaults
+    to their union; pass ``universe`` explicitly to pack against a larger
+    item space (every set must be a subset of it).
+    """
+
+    def __init__(
+        self,
+        sets: Sequence[Iterable],
+        universe: Iterable | None = None,
+    ) -> None:
+        if np is None:  # pragma: no cover - guarded by available()
+            raise RuntimeError("BitsetUniverse requires numpy")
+        families = [frozenset(s) for s in sets]
+        if universe is None:
+            union: set = set()
+            for s in families:
+                union |= s
+        else:
+            union = set(universe)
+        self.n_sets = len(families)
+        self.sizes = np.array([len(s) for s in families], dtype=np.int64)
+        flat = [item for s in families for item in s]
+
+        # Item -> code mapping. Integer universes are mapped wholesale
+        # through a C-level sort + searchsorted; everything else (string
+        # ids, mixed test universes) goes through a Python dict, which
+        # benchmarks faster than numpy's string comparisons. Every public
+        # result is invariant to the code order either way.
+        cols = None
+        items: tuple = ()
+        if union:
+            try:
+                uni_arr = np.asarray(list(union))
+                if uni_arr.ndim == 1 and uni_arr.dtype.kind in "iu":
+                    uni_arr = np.sort(uni_arr)
+                    items = tuple(uni_arr.tolist())
+                    cols = np.searchsorted(
+                        uni_arr, np.asarray(flat, dtype=uni_arr.dtype)
+                    ).astype(np.int64)
+            except (TypeError, ValueError):
+                cols = None
+        if cols is None:
+            items = tuple(union)
+            self._index = {item: code for code, item in enumerate(items)}
+            cols = np.array(
+                [self._index[item] for item in flat], dtype=np.int64
+            )
+        else:
+            self._index = None  # built lazily by .index when packing
+        self.items = items
+        self.n_items = len(items)
+        self.n_words = max(1, (self.n_items + 63) // 64)
+        self._cols = cols
+        self._rows = np.repeat(
+            np.arange(self.n_sets, dtype=np.int64), self.sizes
+        )
+        self._matrix = None
+        self._pairwise = None
+
+    @property
+    def index(self) -> dict:
+        """Item -> column-code mapping (lazy; only packing needs it)."""
+        if self._index is None:
+            self._index = {
+                item: code for code, item in enumerate(self.items)
+            }
+        return self._index
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_instance(cls, instance) -> "BitsetUniverse":
+        """Pack an :class:`OCTInstance`'s input sets over its universe.
+
+        Rows follow ``instance.sets`` order; ``row_of`` maps sids to rows.
+        """
+        uni = cls([q.items for q in instance.sets], universe=instance.universe)
+        uni.row_of = {q.sid: row for row, q in enumerate(instance.sets)}
+        return uni
+
+    def __len__(self) -> int:
+        return self.n_sets
+
+    # -- packing -----------------------------------------------------------
+
+    @property
+    def matrix(self) -> "np.ndarray":
+        """The ``(n_sets, n_words)`` uint64 membership matrix (lazy)."""
+        if self._matrix is None:
+            m = np.zeros((self.n_sets, self.n_words), dtype=np.uint64)
+            if self._cols.size:
+                flat = self._rows * self.n_words + (self._cols >> 6)
+                bits = np.uint64(1) << (self._cols & 63).astype(np.uint64)
+                np.bitwise_or.at(m.reshape(-1), flat, bits)
+            self._matrix = m
+        return self._matrix
+
+    def pack(self, items: Iterable) -> "np.ndarray":
+        """Pack an arbitrary subset of the universe into one uint64 row."""
+        row = np.zeros(self.n_words, dtype=np.uint64)
+        codes = np.array(
+            [self.index[item] for item in items], dtype=np.int64
+        )
+        if codes.size:
+            bits = np.uint64(1) << (codes & 63).astype(np.uint64)
+            np.bitwise_or.at(row, codes >> 6, bits)
+        return row
+
+    def pack_many(self, families: Sequence[Iterable]) -> "np.ndarray":
+        """Pack several subsets into a ``(len(families), n_words)`` matrix."""
+        out = np.zeros((len(families), self.n_words), dtype=np.uint64)
+        for i, items in enumerate(families):
+            out[i] = self.pack(items)
+        return out
+
+    # -- batched intersections --------------------------------------------
+
+    def intersection_sizes(self, packed: "np.ndarray") -> "np.ndarray":
+        """``|set_r & packed|`` for every row ``r``, in one popcount pass."""
+        return _popcount(self.matrix & packed).sum(-1, dtype=np.int64)
+
+    def rowwise_intersections(
+        self, rows: Sequence[int], packed: "np.ndarray"
+    ) -> "np.ndarray":
+        """``|set_rows[k] & packed[k]|`` elementwise over aligned rows."""
+        idx = np.asarray(rows, dtype=np.int64)
+        return _popcount(self.matrix[idx] & packed).sum(-1, dtype=np.int64)
+
+    def pairwise_intersections(self, n_jobs: int = 1) -> "np.ndarray":
+        """The dense ``n x n`` matrix of pairwise intersection sizes.
+
+        Computed in row blocks (AND + popcount + reduce) so the broadcast
+        intermediate stays cache-sized; with ``n_jobs > 1`` the blocks fan
+        out over a process pool, the matrix shipped once per worker via
+        the pool initializer rather than re-pickled per chunk.
+        """
+        from repro.utils.parallel import parallel_map
+
+        if self._pairwise is not None:
+            return self._pairwise
+        n = self.n_sets
+        out = np.zeros((n, n), dtype=np.int64)
+        if n == 0:
+            self._pairwise = out
+            return out
+        matrix = self.matrix
+        block = max(1, (1 << 22) // max(1, n * self.n_words))
+        ranges = [(lo, min(n, lo + block)) for lo in range(0, n, block)]
+        blocks = parallel_map(
+            _block_intersections,
+            ranges,
+            n_jobs=n_jobs,
+            initializer=_install_shared_matrix,
+            initargs=(matrix,),
+        )
+        for (lo, hi), part in zip(ranges, blocks):
+            out[lo:hi] = part
+        self._pairwise = out
+        return out
+
+    def intersecting_pairs(
+        self, item_mask: "np.ndarray | None" = None
+    ) -> tuple["np.ndarray", "np.ndarray", "np.ndarray"]:
+        """All pairs ``i < j`` with a nonempty intersection, with sizes.
+
+        Returns ``(ii, jj, counts)`` arrays. Output-sensitive: the work is
+        proportional to the number of shared (item, pair) incidences, not
+        to ``n^2`` — items are grouped by degree so the pair enumeration
+        is a handful of vectorized gathers. ``item_mask`` (bool, per item
+        code) optionally restricts the count to a subset of the universe,
+        e.g. the branch-bound-1 items of the 2-conflict separate test.
+        """
+        rows, cols = self._rows, self._cols
+        if item_mask is not None:
+            keep = item_mask[cols]
+            rows, cols = rows[keep], cols[keep]
+        empty = np.empty(0, dtype=np.int64)
+        if rows.size == 0:
+            return empty, empty, empty
+        order = np.argsort(cols)
+        r, c = rows[order], cols[order]
+        starts = np.concatenate(
+            ([0], np.flatnonzero(np.diff(c)) + 1)
+        )
+        lengths = np.diff(np.concatenate((starts, [c.size])))
+        n = self.n_sets
+        key_parts = []
+        for d in np.unique(lengths):
+            d = int(d)
+            if d < 2:
+                continue
+            group_starts = starts[lengths == d]
+            # Rows within one item's group arrive in arbitrary order (the
+            # sort need not be stable), so orient each pair explicitly.
+            block = r[group_starts[:, None] + np.arange(d)]
+            iu, ju = np.triu_indices(d, k=1)
+            a = block[:, iu].ravel()
+            b = block[:, ju].ravel()
+            key_parts.append(np.minimum(a, b) * n + np.maximum(a, b))
+        if not key_parts:
+            return empty, empty, empty
+        all_keys = np.concatenate(key_parts)
+        if n * n <= 1 << 22:
+            # Tiny key space: a dense bincount beats sorting the keys.
+            tallies = np.bincount(all_keys, minlength=n * n)
+            keys = np.flatnonzero(tallies)
+            counts = tallies[keys]
+        else:
+            keys, counts = np.unique(all_keys, return_counts=True)
+        return keys // n, keys % n, counts.astype(np.int64)
+
+    # -- batched score matrices -------------------------------------------
+
+    def pairwise_jaccard(self, n_jobs: int = 1) -> "np.ndarray":
+        """Dense Jaccard matrix; two empty sets score 1."""
+        inter = self.pairwise_intersections(n_jobs=n_jobs)
+        union = self.sizes[:, None] + self.sizes[None, :] - inter
+        return np.where(
+            union == 0, 1.0, inter / np.where(union == 0, 1, union)
+        )
+
+    def pairwise_f1(self, n_jobs: int = 1) -> "np.ndarray":
+        """Dense F1 matrix; two empty sets score 1."""
+        inter = self.pairwise_intersections(n_jobs=n_jobs)
+        denom = self.sizes[:, None] + self.sizes[None, :]
+        return np.where(
+            denom == 0, 1.0, 2.0 * inter / np.where(denom == 0, 1, denom)
+        )
+
+    def pairwise_precision(self, n_jobs: int = 1) -> "np.ndarray":
+        """``P[q, c] = |q & c| / |c|``; an empty category scores 0."""
+        inter = self.pairwise_intersections(n_jobs=n_jobs)
+        c_size = self.sizes[None, :]
+        return np.where(
+            c_size == 0, 0.0, inter / np.where(c_size == 0, 1, c_size)
+        )
+
+    def pairwise_recall(self, n_jobs: int = 1) -> "np.ndarray":
+        """``R[q, c] = |q & c| / |q|``; an empty input set scores 1."""
+        inter = self.pairwise_intersections(n_jobs=n_jobs)
+        q_size = self.sizes[:, None]
+        return np.where(
+            q_size == 0, 1.0, inter / np.where(q_size == 0, 1, q_size)
+        )
+
+    def pairwise_variant_scores(
+        self,
+        variant: Variant,
+        delta: "float | np.ndarray | None" = None,
+        n_jobs: int = 1,
+    ) -> "np.ndarray":
+        """Dense matrix of ``variant_score_from_sizes`` over all pairs.
+
+        Rows play the input set ``q``, columns the category ``C``.
+        ``delta`` is the effective threshold: a scalar, or one value per
+        row (the per-set-thresholds extension); defaults to the variant's.
+        """
+        inter = self.pairwise_intersections(n_jobs=n_jobs)
+        q_size = self.sizes[:, None]
+        c_size = self.sizes[None, :]
+        if delta is None:
+            delta = variant.delta
+        delta = np.asarray(delta, dtype=np.float64)
+        if delta.ndim == 1:
+            delta = delta[:, None]
+
+        if variant.kind is SimilarityKind.PERFECT_RECALL:
+            prec = np.where(
+                c_size == 0, 0.0, inter / np.where(c_size == 0, 1, c_size)
+            )
+            score = np.where(
+                inter < q_size,
+                0.0,
+                np.where(prec >= delta - _SCORE_EPS, 1.0, 0.0),
+            )
+            # An empty q is trivially recalled; only an empty C has
+            # nonzero precision against it.
+            empty_q = np.where(c_size == 0, 1.0, 0.0)
+            return np.where(q_size == 0, empty_q, score)
+
+        if variant.kind is SimilarityKind.JACCARD:
+            sim = self.pairwise_jaccard()
+        else:
+            sim = self.pairwise_f1()
+        score = np.where(sim < delta - _SCORE_EPS, 0.0, sim)
+        if variant.mode is ScoreMode.THRESHOLD:
+            score = np.where(score > 0.0, 1.0, score)
+        return score

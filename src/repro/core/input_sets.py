@@ -117,6 +117,17 @@ class OCTInstance:
         """Branch bound for one item."""
         return self._item_bounds.get(item, self.default_bound)
 
+    def uniform_bound(self) -> int | None:
+        """The single branch bound shared by every item, or ``None``.
+
+        Lets hot paths skip per-item bound lookups (e.g. the bitset
+        kernel reuses full intersection counts for the bound-1 shared
+        counts when the bound is uniformly 1).
+        """
+        if all(b == self.default_bound for b in self._item_bounds.values()):
+            return self.default_bound
+        return None
+
     @property
     def total_weight(self) -> float:
         """Sum of all weights — the paper's normalization denominator."""

@@ -15,7 +15,13 @@ ItemSet = AbstractSet
 
 
 def jaccard(a: ItemSet, b: ItemSet) -> float:
-    """Jaccard index ``|a ∩ b| / |a ∪ b|``; two empty sets score 1."""
+    """Jaccard index ``|a ∩ b| / |a ∪ b|``; two empty sets score 1.
+
+    >>> jaccard({"a", "b"}, {"b", "c"})
+    0.3333333333333333
+    >>> jaccard(set(), set())
+    1.0
+    """
     if not a and not b:
         return 1.0
     inter = len(a & b)
@@ -23,21 +29,45 @@ def jaccard(a: ItemSet, b: ItemSet) -> float:
 
 
 def precision(q: ItemSet, c: ItemSet) -> float:
-    """Fraction of the category's items that belong to the input set."""
+    """Fraction of the category's items that belong to the input set.
+
+    An empty category has no correct item, so its precision is 0:
+
+    >>> precision({"a", "b"}, set())
+    0.0
+    >>> precision({"a", "b"}, {"a", "x"})
+    0.5
+    """
     if not c:
         return 0.0
     return len(q & c) / len(c)
 
 
 def recall(q: ItemSet, c: ItemSet) -> float:
-    """Fraction of the input set's items captured by the category."""
+    """Fraction of the input set's items captured by the category.
+
+    An empty input set is trivially recalled by any category:
+
+    >>> recall(set(), {"a", "b"})
+    1.0
+    >>> recall({"a", "b"}, {"a", "x"})
+    0.5
+    """
     if not q:
         return 1.0
     return len(q & c) / len(q)
 
 
 def f1(q: ItemSet, c: ItemSet) -> float:
-    """Harmonic mean of precision and recall."""
+    """Harmonic mean of precision and recall.
+
+    Two empty sets score 1 (consistent with :func:`jaccard`):
+
+    >>> f1(set(), set())
+    1.0
+    >>> f1({"a", "b"}, {"a"})
+    0.6666666666666666
+    """
     inter = len(q & c)
     denom = len(q) + len(c)
     if denom == 0:

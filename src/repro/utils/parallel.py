@@ -45,6 +45,8 @@ def parallel_map(
     fn: Callable[[list[T]], list[R]],
     items: Sequence[T],
     n_jobs: int = 1,
+    initializer: Callable[..., None] | None = None,
+    initargs: tuple = (),
 ) -> list[R]:
     """Apply a chunk-level function over ``items``, preserving order.
 
@@ -52,13 +54,22 @@ def parallel_map(
     chunk results are concatenated in order, so the output is identical
     for any ``n_jobs``. ``fn`` must be picklable (a module-level function)
     when ``n_jobs > 1``.
+
+    ``initializer(*initargs)`` installs shared read-only state once per
+    worker process (and is simply called inline when running serially).
+    Large payloads — e.g. a packed bit matrix the chunks index into — ride
+    along exactly once per worker instead of being re-pickled per chunk.
     """
     n_jobs = resolve_jobs(n_jobs)
     if n_jobs == 1 or len(items) <= 1:
+        if initializer is not None:
+            initializer(*initargs)
         return fn(list(items))
     chunks = chunked(items, n_jobs * 4)
     results: list[R] = []
-    with ProcessPoolExecutor(max_workers=n_jobs) as pool:
+    with ProcessPoolExecutor(
+        max_workers=n_jobs, initializer=initializer, initargs=initargs
+    ) as pool:
         for part in pool.map(fn, chunks):
             results.extend(part)
     return results

@@ -1,0 +1,224 @@
+"""Differential tests: the bitset kernel vs the set-based similarity path.
+
+Every batched result of :class:`repro.core.bitset.BitsetUniverse` is
+checked entry by entry against the scalar functions in
+:mod:`repro.core.similarity` on randomized instances, plus the edge
+cases the score conventions pin down (empty sets, singletons, disjoint
+and identical sets).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.core import bitset
+from repro.core.bitset import BitsetUniverse
+from repro.core.similarity import (
+    f1,
+    jaccard,
+    precision,
+    recall,
+    variant_score,
+)
+from repro.core.variants import Variant
+from repro.utils import make_rng
+
+DELTAS = [0.25, 0.5, 1.0]
+VARIANT_MAKERS = [
+    Variant.threshold_jaccard,
+    Variant.cutoff_jaccard,
+    Variant.threshold_f1,
+    Variant.cutoff_f1,
+    Variant.perfect_recall,
+]
+
+
+def random_families(seed, n_sets=24, n_items=60, max_size=12, empties=True):
+    rng = make_rng(seed)
+    universe = [f"i{k}" for k in range(n_items)]
+    families = []
+    for _ in range(n_sets):
+        size = rng.randint(0 if empties else 1, max_size)
+        families.append(frozenset(rng.sample(universe, size)))
+    return families, universe
+
+
+EDGE_FAMILIES = [
+    frozenset(),
+    frozenset(),  # two empties: jaccard/f1 = 1 by convention
+    frozenset({"a"}),
+    frozenset({"a"}),  # identical singletons
+    frozenset({"b"}),  # disjoint from the above
+    frozenset({"a", "b", "c"}),
+    frozenset({"x", "y"}),  # disjoint from everything else
+]
+
+
+def edge_universe():
+    return BitsetUniverse(EDGE_FAMILIES)
+
+
+class TestPairwiseScores:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matrices_match_scalar_functions(self, seed):
+        families, _ = random_families(seed)
+        uni = BitsetUniverse(families)
+        matrices = {
+            jaccard: uni.pairwise_jaccard(),
+            f1: uni.pairwise_f1(),
+            precision: uni.pairwise_precision(),
+            recall: uni.pairwise_recall(),
+        }
+        for fn, matrix in matrices.items():
+            for i, a in enumerate(families):
+                for j, b in enumerate(families):
+                    assert matrix[i, j] == fn(a, b), (fn.__name__, i, j)
+
+    def test_edge_conventions(self):
+        uni = edge_universe()
+        jac = uni.pairwise_jaccard()
+        assert jac[0, 1] == 1.0  # jaccard(empty, empty) = 1
+        assert uni.pairwise_f1()[0, 1] == 1.0
+        assert uni.pairwise_precision()[2, 0] == 0.0  # precision(q, empty)
+        assert uni.pairwise_recall()[0, 5] == 1.0  # recall(empty, C)
+        assert jac[2, 3] == 1.0  # identical singletons
+        assert jac[2, 4] == 0.0  # disjoint singletons
+        assert jac[5, 6] == 0.0  # disjoint sets
+
+    @pytest.mark.parametrize("maker", VARIANT_MAKERS, ids=lambda m: m.__name__)
+    @pytest.mark.parametrize("delta", DELTAS)
+    def test_variant_scores_match(self, maker, delta):
+        variant = maker(delta)
+        for seed in (3, 4):
+            families, _ = random_families(seed, n_sets=18)
+            uni = BitsetUniverse(families)
+            scores = uni.pairwise_variant_scores(variant)
+            for i, q in enumerate(families):
+                for j, c in enumerate(families):
+                    assert scores[i, j] == variant_score(variant, q, c), (
+                        i,
+                        j,
+                        delta,
+                    )
+
+    @pytest.mark.parametrize("maker", VARIANT_MAKERS, ids=lambda m: m.__name__)
+    def test_variant_scores_edges(self, maker):
+        for delta in DELTAS:
+            variant = maker(delta)
+            uni = edge_universe()
+            scores = uni.pairwise_variant_scores(variant)
+            for i, q in enumerate(EDGE_FAMILIES):
+                for j, c in enumerate(EDGE_FAMILIES):
+                    assert scores[i, j] == variant_score(variant, q, c)
+
+    def test_per_row_deltas(self):
+        families, _ = random_families(5, n_sets=12)
+        variant = Variant.cutoff_jaccard(0.5)
+        deltas = [0.25 + 0.05 * i for i in range(len(families))]
+        uni = BitsetUniverse(families)
+        scores = uni.pairwise_variant_scores(variant, delta=np.array(deltas))
+        for i, q in enumerate(families):
+            for j, c in enumerate(families):
+                assert scores[i, j] == variant_score(
+                    variant, q, c, delta=deltas[i]
+                )
+
+
+class TestIntersections:
+    @pytest.mark.parametrize("seed", [0, 6])
+    def test_sparse_matches_dense(self, seed):
+        families, _ = random_families(seed)
+        uni = BitsetUniverse(families)
+        dense = uni.pairwise_intersections()
+        ii, jj, counts = uni.intersecting_pairs()
+        assert np.all(ii < jj)
+        assert np.array_equal(dense[ii, jj], counts)
+        # Every intersecting upper-triangle pair must be listed.
+        upper = np.triu(dense, k=1)
+        assert counts.sum() == upper.sum()
+
+    def test_item_mask_restricts_counts(self):
+        families, universe = random_families(7)
+        uni = BitsetUniverse(families)
+        keep = {item for item in universe if item.endswith(("1", "3", "5"))}
+        mask = np.array([item in keep for item in uni.items])
+        masked = BitsetUniverse([s & keep for s in families], universe=keep)
+        dense = masked.pairwise_intersections()
+        ii, jj, counts = uni.intersecting_pairs(item_mask=mask)
+        assert np.array_equal(dense[ii, jj], counts)
+        assert counts.sum() == np.triu(dense, k=1).sum()
+
+    def test_dense_diagonal_is_set_size(self):
+        families, _ = random_families(8)
+        uni = BitsetUniverse(families)
+        assert np.array_equal(
+            np.diag(uni.pairwise_intersections()), uni.sizes
+        )
+
+    def test_pack_and_rowwise(self):
+        families, universe = random_families(9, empties=False)
+        uni = BitsetUniverse(families, universe=universe)
+        probe = frozenset(universe[::3])
+        packed = uni.pack(probe)
+        sizes = uni.intersection_sizes(packed)
+        for i, s in enumerate(families):
+            assert sizes[i] == len(s & probe)
+        probes = [frozenset(universe[k::4]) for k in range(4)]
+        rows = [1, 3, 5, 7]
+        many = uni.pack_many(probes)
+        inter = uni.rowwise_intersections(rows, many)
+        for k, (row, p) in enumerate(zip(rows, probes)):
+            assert inter[k] == len(families[row] & p)
+
+    def test_n_jobs_parity(self):
+        families, _ = random_families(10, n_sets=40)
+        serial = BitsetUniverse(families).pairwise_intersections(n_jobs=1)
+        parallel = BitsetUniverse(families).pairwise_intersections(n_jobs=2)
+        assert np.array_equal(serial, parallel)
+
+    def test_integer_universe_fast_path(self):
+        # Integer item ids take the searchsorted mapping; results must
+        # match a string-keyed (dict-mapped) rendering of the same sets.
+        rng = make_rng(11)
+        families = [
+            frozenset(rng.sample(range(200), rng.randint(0, 15)))
+            for _ in range(20)
+        ]
+        as_str = [frozenset(f"i{k:04d}" for k in s) for s in families]
+        ints = BitsetUniverse(families).pairwise_intersections()
+        strs = BitsetUniverse(as_str).pairwise_intersections()
+        assert np.array_equal(ints, strs)
+
+
+class TestGating:
+    def test_flag_false_wins(self):
+        assert bitset.should_use(10_000, 10_000, flag=False) is False
+
+    def test_flag_true_forces(self):
+        assert bitset.should_use(2, 2, flag=True) is True
+
+    def test_auto_small_instances_stay_set_based(self):
+        assert bitset.should_use(4, 16, flag=None) is False
+
+    def test_auto_large_instances_use_kernel(self):
+        assert bitset.should_use(1000, 10_000, flag=None) is True
+
+    def test_available(self):
+        assert bitset.available() is True
+
+
+@pytest.mark.slow
+def test_benchmark_smoke():
+    """The kernel benchmark's --smoke mode runs end to end."""
+    root = Path(__file__).resolve().parents[1]
+    if str(root) not in sys.path:
+        sys.path.insert(0, str(root))
+    from benchmarks.bench_bitset_kernel import run
+
+    rows = run(smoke=True)
+    assert rows, "smoke run produced no measurements"

@@ -1,0 +1,152 @@
+"""End-to-end equivalence of CTCR's set-based and bitset engines.
+
+The bitset kernel mirrors the scalar closed forms term for term, so the
+two engines must agree exactly — same pair classifications, same trees,
+same scores — on every instance, variant, and job count. These tests pin
+that contract.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.algorithms import CTCR, CTCRConfig
+from repro.conflicts.two_conflicts import compute_pairwise
+from repro.core import OCTInstance, Variant, make_instance, score_tree
+from repro.core.input_sets import InputSet
+from repro.io import tree_to_dict
+from repro.utils import make_rng
+
+
+def random_instance(seed, n_sets=30, n_items=40) -> OCTInstance:
+    """A randomized instance with weights, per-set thresholds, and a
+    sprinkling of non-uniform item bounds."""
+    rng = make_rng(seed)
+    universe = [f"i{k}" for k in range(n_items)]
+    sets = []
+    for sid in range(n_sets):
+        items = frozenset(rng.sample(universe, rng.randint(1, 10)))
+        threshold = rng.choice([None, None, 0.4, 0.9])
+        sets.append(
+            InputSet(
+                sid=sid,
+                items=items,
+                weight=rng.randint(1, 5),
+                threshold=threshold,
+            )
+        )
+    bounds = {item: 2 for item in rng.sample(universe, n_items // 5)}
+    return OCTInstance(
+        sets, universe=universe, item_bounds=bounds, default_bound=1
+    )
+
+
+EQUIV_VARIANTS = [
+    Variant.exact(),
+    Variant.threshold_jaccard(0.5),
+    Variant.cutoff_jaccard(0.7),
+    Variant.threshold_f1(0.6),
+    Variant.cutoff_f1(0.5),
+    Variant.perfect_recall(0.5),
+    Variant.perfect_recall(1.0),
+]
+
+
+def assert_same_analysis(old, new):
+    assert old.conflicts == new.conflicts
+    assert old.must_together == new.must_together
+    assert old.can_separately == new.can_separately
+    assert old.intersections == new.intersections
+
+
+class TestPairwiseEquivalence:
+    @pytest.mark.parametrize(
+        "variant", EQUIV_VARIANTS, ids=lambda v: str(v)
+    )
+    def test_random_instances(self, variant):
+        for seed in range(5):
+            instance = random_instance(seed)
+            old = compute_pairwise(instance, variant, use_bitset=False)
+            new = compute_pairwise(instance, variant, use_bitset=True)
+            assert_same_analysis(old, new)
+
+    def test_uniform_bound_fast_path(self):
+        # No per-item overrides: the kernel reuses full intersection
+        # counts for the bound-1 shared counts.
+        rng = make_rng(99)
+        universe = [f"i{k}" for k in range(30)]
+        sets = [
+            InputSet(sid=s, items=frozenset(rng.sample(universe, 5)))
+            for s in range(20)
+        ]
+        instance = OCTInstance(sets, universe=universe)
+        variant = Variant.threshold_jaccard(0.6)
+        assert_same_analysis(
+            compute_pairwise(instance, variant, use_bitset=False),
+            compute_pairwise(instance, variant, use_bitset=True),
+        )
+
+    def test_paper_examples(self, figure2_instance, example32_instance, all_variants):
+        for instance in (figure2_instance, example32_instance):
+            for variant in all_variants:
+                assert_same_analysis(
+                    compute_pairwise(instance, variant, use_bitset=False),
+                    compute_pairwise(instance, variant, use_bitset=True),
+                )
+
+
+def build_fingerprint(instance, variant, **config):
+    tree = CTCR(CTCRConfig(**config)).build(instance, variant)
+    report = score_tree(tree, instance, variant)
+    return tree_to_dict(tree), report.normalized, report.total, tree.to_text()
+
+
+class TestTreeEquivalence:
+    @pytest.mark.parametrize(
+        "variant", EQUIV_VARIANTS, ids=lambda v: str(v)
+    )
+    def test_random_instance_trees_identical(self, variant):
+        instance = random_instance(17, n_sets=25)
+        off = build_fingerprint(instance, variant, use_bitset=False)
+        on = build_fingerprint(instance, variant, use_bitset=True)
+        assert off == on
+
+    def test_paper_examples_trees_identical(
+        self, figure2_instance, example32_instance, all_variants
+    ):
+        for instance in (figure2_instance, example32_instance):
+            for variant in all_variants:
+                off = build_fingerprint(instance, variant, use_bitset=False)
+                on = build_fingerprint(instance, variant, use_bitset=True)
+                assert off == on
+
+    @pytest.mark.slow
+    def test_tiny_dataset_trees_identical(self, tiny_dataset):
+        from repro.pipeline import preprocess
+
+        for variant in (
+            Variant.threshold_jaccard(0.8),
+            Variant.perfect_recall(0.6),
+        ):
+            instance, _report = preprocess(tiny_dataset, variant)
+            off = build_fingerprint(instance, variant, use_bitset=False)
+            on = build_fingerprint(instance, variant, use_bitset=True)
+            assert off == on
+
+    @pytest.mark.slow
+    def test_n_jobs_parity(self, tiny_dataset):
+        """Trees are identical for n_jobs=1 vs 4, with either engine."""
+        from repro.pipeline import preprocess
+
+        variant = Variant.threshold_jaccard(0.8)
+        instance, _report = preprocess(tiny_dataset, variant)
+        baseline = build_fingerprint(
+            instance, variant, use_bitset=False, n_jobs=1
+        )
+        for use_bitset in (False, True):
+            fanned = build_fingerprint(
+                instance, variant, use_bitset=use_bitset, n_jobs=4
+            )
+            assert fanned == baseline

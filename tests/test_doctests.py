@@ -5,11 +5,13 @@ import doctest
 import pytest
 
 import repro.core.input_sets
+import repro.core.similarity
 import repro.search.analyzer
 import repro.utils.timer
 
 MODULES = [
     repro.core.input_sets,
+    repro.core.similarity,
     repro.search.analyzer,
     repro.utils.timer,
 ]
