@@ -3,6 +3,15 @@
 Benchmark output must reach the console even under pytest's capture, so
 the report writer targets the real stdout and also appends to
 ``benchmarks/results.log`` for the EXPERIMENTS.md record.
+
+Every benchmark process gets one run id.  Each ``results.log`` block is
+stamped with it, and a machine-readable :class:`RunManifest` — config,
+span timings, counters, peak RSS — is written to
+``benchmarks/manifests/<run-id>.json`` alongside the log, so repeated
+bench runs are distinguishable and diffable instead of silently appended
+look-alikes.  Importing this module enables tracing for the process
+(benchmarks always want stage timings; the overhead is bounded by the
+observability regression test).
 """
 
 from __future__ import annotations
@@ -14,8 +23,39 @@ from typing import Sequence
 from repro.algorithms import CCT, CTCR
 from repro.baselines import ExistingTree, ICQ, ICS
 from repro.evaluation import format_table
+from repro.observability import RunManifest, Tracer, make_run_id, set_tracer
 
 RESULTS_LOG = Path(__file__).parent / "results.log"
+MANIFEST_DIR = Path(__file__).parent / "manifests"
+
+# One tracer and run id per benchmark process: every experiment block the
+# process emits shares them, and the manifest accumulates across blocks.
+TRACER = set_tracer(Tracer())
+_RUN_ID: str | None = None
+_EXPERIMENTS: list[str] = []
+
+
+def bench_run_id() -> str:
+    """This process's run id (created lazily on first report)."""
+    global _RUN_ID
+    if _RUN_ID is None:
+        _RUN_ID = make_run_id(prefix="bench")
+    return _RUN_ID
+
+
+def manifest_path() -> Path:
+    return MANIFEST_DIR / f"{bench_run_id()}.json"
+
+
+def _write_manifest() -> None:
+    MANIFEST_DIR.mkdir(exist_ok=True)
+    manifest = RunManifest.collect(
+        TRACER,
+        run_id=bench_run_id(),
+        tool="benchmarks",
+        config={"experiments": list(_EXPERIMENTS)},
+    )
+    manifest.save(manifest_path())
 
 
 def bench_report(
@@ -24,11 +64,19 @@ def bench_report(
     headers: Sequence[str],
     rows: Sequence[Sequence[object]],
 ) -> None:
-    """Print one experiment block to the real stdout and the log file."""
+    """Print one experiment block to the real stdout and the log file.
+
+    The block carries the process's run id, tying it to the manifest at
+    ``benchmarks/manifests/<run-id>.json`` (rewritten after every block
+    so it always covers the whole run so far).
+    """
+    _EXPERIMENTS.append(title)
+    rid = bench_run_id()
     block = "\n".join(
         [
             "",
             f"=== {title} ===",
+            f"run-id: {rid} (manifest: manifests/{rid}.json)",
             f"paper: {paper_expectation}",
             format_table(headers, rows),
             "",
@@ -37,6 +85,7 @@ def bench_report(
     print(block, file=sys.__stdout__)
     with RESULTS_LOG.open("a", encoding="utf-8") as f:
         f.write(block + "\n")
+    _write_manifest()
 
 
 def all_builders(dataset):

@@ -30,6 +30,7 @@ from repro.core.input_sets import OCTInstance
 from repro.core.similarity import raw_similarity_from_sizes
 from repro.core.tree import CategoryTree
 from repro.core.variants import Variant
+from repro.observability import get_tracer
 
 
 @dataclass(frozen=True)
@@ -85,32 +86,39 @@ class CCT(TreeBuilder):
     def build(self, instance: OCTInstance, variant: Variant) -> CategoryTree:
         tree = CategoryTree()
         ctx = BuildContext(tree=tree, instance=instance, variant=variant)
+        tracer = get_tracer()
         if len(instance) == 0:
             add_misc_category(tree, instance)
             return tree
 
-        similarities = set_embeddings(instance, variant)
-        if self.config.global_context:
-            dendrogram = agglomerative_clustering(
-                similarities,
-                linkage=self.config.linkage,
-                metric=self.config.metric,
-            )
-        else:
-            dendrogram = agglomerative_clustering(
-                similarities,
-                linkage=self.config.linkage,
-                precomputed=1.0 - similarities,
-            )
-        self._skeleton_from_dendrogram(ctx, dendrogram)
+        with tracer.span("cct.build"):
+            with tracer.span("cct.embeddings"):
+                similarities = set_embeddings(instance, variant)
+            with tracer.span("cct.clustering"):
+                if self.config.global_context:
+                    dendrogram = agglomerative_clustering(
+                        similarities,
+                        linkage=self.config.linkage,
+                        metric=self.config.metric,
+                    )
+                else:
+                    dendrogram = agglomerative_clustering(
+                        similarities,
+                        linkage=self.config.linkage,
+                        precomputed=1.0 - similarities,
+                    )
+            with tracer.span("cct.skeleton"):
+                self._skeleton_from_dendrogram(ctx, dendrogram)
 
-        duplicates = assign_safe_items(ctx, instance.sets)
-        if duplicates:
-            assign_duplicates(ctx, instance.sets, duplicates)
-        if self.config.condense:
-            remove_noncovered_items(tree, instance, variant)
-            remove_noncovering_categories(tree, instance, variant)
-        add_misc_category(tree, instance)
+            with tracer.span("cct.assign"):
+                duplicates = assign_safe_items(ctx, instance.sets)
+                if duplicates:
+                    assign_duplicates(ctx, instance.sets, duplicates)
+            if self.config.condense:
+                with tracer.span("cct.condense"):
+                    remove_noncovered_items(tree, instance, variant)
+                    remove_noncovering_categories(tree, instance, variant)
+            add_misc_category(tree, instance)
         return tree
 
     def _skeleton_from_dendrogram(

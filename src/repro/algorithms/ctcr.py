@@ -40,6 +40,7 @@ from repro.core.tree import Category, CategoryTree
 from repro.core.variants import SimilarityKind, Variant
 from repro.mis.hypergraph_mis import WeightedHypergraph
 from repro.mis.solver import MISConfig, solve_conflicts
+from repro.observability import get_tracer
 
 
 @dataclass(frozen=True)
@@ -78,6 +79,44 @@ class CTCRDiagnostics:
     selected_weight: float = 0.0
     intermediates_added: int = 0
 
+    _GAUGE_PREFIX = "ctcr.diag."
+
+    def record(self, tracer) -> None:
+        """Publish every field as a ``ctcr.diag.*`` gauge on a tracer."""
+        for name, value in self.as_dict().items():
+            tracer.gauge(self._GAUGE_PREFIX + name, value)
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "num_sets": self.num_sets,
+            "num_two_conflicts": self.num_two_conflicts,
+            "num_three_conflicts": self.num_three_conflicts,
+            "c2_weighted_avg": self.c2_weighted_avg,
+            "selected": self.selected,
+            "selected_weight": self.selected_weight,
+            "intermediates_added": self.intermediates_added,
+        }
+
+    @classmethod
+    def from_manifest(cls, manifest) -> "CTCRDiagnostics":
+        """Reconstruct the diagnostics view from a :class:`RunManifest`.
+
+        The gauges recorded by :meth:`record` round-trip through the
+        manifest JSON, so a saved run can be inspected with the same
+        object the in-process API returns.
+        """
+        gauges = manifest.gauges
+        fields = {
+            name: gauges.get(cls._GAUGE_PREFIX + name, 0.0)
+            for name in cls().as_dict()
+        }
+        for int_field in (
+            "num_sets", "num_two_conflicts", "num_three_conflicts",
+            "selected", "intermediates_added",
+        ):
+            fields[int_field] = int(fields[int_field])
+        return cls(**fields)
+
 
 class CTCR(TreeBuilder):
     """MIS-based category tree construction (Algorithm 1)."""
@@ -93,61 +132,77 @@ class CTCR(TreeBuilder):
     def build(self, instance: OCTInstance, variant: Variant) -> CategoryTree:
         diag = CTCRDiagnostics(num_sets=len(instance))
         self.last_diagnostics = diag
+        tracer = get_tracer()
 
-        ranking = rank_sets(instance)
-        universe = None
-        if bitset.should_use(
-            len(instance), len(instance.universe), self.config.use_bitset
-        ):
-            # One packed universe serves both the pairwise stage and the
-            # per-category cover scores of the assignment stage.
-            universe = BitsetUniverse.from_instance(instance)
-        analysis = compute_pairwise(
-            instance,
-            variant,
-            ranking,
-            n_jobs=self.config.n_jobs,
-            use_bitset=self.config.use_bitset,
-            universe=universe,
-        )
-        conflict_structure = self._conflict_structure(
-            instance, variant, analysis, diag
-        )
-        hypergraph = WeightedHypergraph(
-            vertices=conflict_structure.vertices,
-            weights=conflict_structure.weights,
-            edges=[frozenset(e) for e in conflict_structure.pairs]
-            + [frozenset(e) for e in conflict_structure.triples],
-        )
-        selected_sids = solve_conflicts(hypergraph, self.config.mis)
-        selected = [
-            q for q in ranking.ordered if q.sid in selected_sids
-        ]  # rank order: parents appear before children
-        diag.selected = len(selected)
-        diag.selected_weight = sum(q.weight for q in selected)
-
-        tree = CategoryTree()
-        ctx = BuildContext(
-            tree=tree, instance=instance, variant=variant, bitset=universe
-        )
-        self._build_skeleton(ctx, selected, ranking, analysis)
-        duplicates = assign_safe_items(ctx, selected)
-
-        if not variant.is_exact:
-            # Perfect-Recall selections never produce duplicates (shared
-            # items force must-together pairs onto one branch), so the
-            # duplicate stage is a no-op there, as the paper notes.
-            if duplicates:
-                assign_duplicates(ctx, selected, duplicates)
-            if (
-                variant.kind is not SimilarityKind.PERFECT_RECALL
-                and self.config.add_intermediate
+        with tracer.span("ctcr.build"):
+            with tracer.span("ctcr.rank"):
+                ranking = rank_sets(instance)
+            universe = None
+            if bitset.should_use(
+                len(instance), len(instance.universe), self.config.use_bitset
             ):
-                diag.intermediates_added = add_intermediate_categories(ctx)
-        if not variant.is_exact and self.config.condense:
-            remove_noncovered_items(tree, instance, variant)
-            remove_noncovering_categories(tree, instance, variant)
-        add_misc_category(tree, instance)
+                # One packed universe serves both the pairwise stage and the
+                # per-category cover scores of the assignment stage.
+                with tracer.span("ctcr.pack"):
+                    universe = BitsetUniverse.from_instance(instance)
+            with tracer.span("ctcr.two_conflicts"):
+                analysis = compute_pairwise(
+                    instance,
+                    variant,
+                    ranking,
+                    n_jobs=self.config.n_jobs,
+                    use_bitset=self.config.use_bitset,
+                    universe=universe,
+                )
+            with tracer.span("ctcr.conflict_structure"):
+                conflict_structure = self._conflict_structure(
+                    instance, variant, analysis, diag
+                )
+                hypergraph = WeightedHypergraph(
+                    vertices=conflict_structure.vertices,
+                    weights=conflict_structure.weights,
+                    edges=[frozenset(e) for e in conflict_structure.pairs]
+                    + [frozenset(e) for e in conflict_structure.triples],
+                )
+            with tracer.span("ctcr.mis"):
+                selected_sids = solve_conflicts(hypergraph, self.config.mis)
+            selected = [
+                q for q in ranking.ordered if q.sid in selected_sids
+            ]  # rank order: parents appear before children
+            diag.selected = len(selected)
+            diag.selected_weight = sum(q.weight for q in selected)
+
+            tree = CategoryTree()
+            ctx = BuildContext(
+                tree=tree, instance=instance, variant=variant, bitset=universe
+            )
+            with tracer.span("ctcr.skeleton"):
+                self._build_skeleton(ctx, selected, ranking, analysis)
+            with tracer.span("ctcr.assign"):
+                duplicates = assign_safe_items(ctx, selected)
+
+                if not variant.is_exact:
+                    # Perfect-Recall selections never produce duplicates
+                    # (shared items force must-together pairs onto one
+                    # branch), so the duplicate stage is a no-op there, as
+                    # the paper notes.
+                    if duplicates:
+                        assign_duplicates(ctx, selected, duplicates)
+            if not variant.is_exact:
+                if (
+                    variant.kind is not SimilarityKind.PERFECT_RECALL
+                    and self.config.add_intermediate
+                ):
+                    with tracer.span("ctcr.intermediate"):
+                        diag.intermediates_added = add_intermediate_categories(
+                            ctx
+                        )
+            if not variant.is_exact and self.config.condense:
+                with tracer.span("ctcr.condense"):
+                    remove_noncovered_items(tree, instance, variant)
+                    remove_noncovering_categories(tree, instance, variant)
+            add_misc_category(tree, instance)
+            diag.record(tracer)
         return tree
 
     # -- stages ------------------------------------------------------------

@@ -11,9 +11,15 @@ Commands:
 * ``preprocess`` — run the Section 5.1 pipeline on a synthetic dataset
                   and export the resulting OCT instance as JSON.
 * ``trends``    — report trending and fading queries in a dataset's log.
+* ``oct``       — alias for ``build`` (the paper's name for the problem).
 
 Variants are spelled ``threshold-jaccard:0.8``, ``cutoff-f1:0.7``,
 ``perfect-recall:0.6``, or ``exact``.
+
+Every command accepts the observability flags ``--trace`` (print the
+span/counter tree after the run), ``--manifest PATH`` (write the
+machine-readable run manifest JSON) and ``--profile PATH`` (dump
+cProfile stats); see docs/operations.md.
 """
 
 from __future__ import annotations
@@ -34,6 +40,13 @@ from repro.evaluation import (
 )
 from repro.catalog.trends import detect_trending_queries, fading_queries
 from repro.io import dump_instance, dump_tree, load_instance, load_tree
+from repro.observability import (
+    RunManifest,
+    Tracer,
+    get_tracer,
+    instance_fingerprint,
+    use_tracer,
+)
 from repro.pipeline import preprocess
 
 
@@ -66,9 +79,13 @@ def _load(args) -> tuple:
     """Resolve (instance, dataset-or-None) from CLI arguments."""
     variant = parse_variant(args.variant)
     if args.instance:
-        return load_instance(args.instance), None, variant
-    dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
-    instance, _report = preprocess(dataset, variant)
+        instance, dataset = load_instance(args.instance), None
+    else:
+        dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+        instance, _report = preprocess(dataset, variant)
+    tracer = get_tracer()
+    if tracer.enabled:
+        tracer.annotate("dataset.fingerprint", instance_fingerprint(instance))
     return instance, dataset, variant
 
 
@@ -114,6 +131,18 @@ def cmd_build(args) -> int:
     tree = builder.build(instance, variant)
     tree.validate(universe=instance.universe, bound=instance.bound)
     report = score_tree(tree, instance, variant)
+    tracer = get_tracer()
+    if tracer.enabled:
+        tracer.annotate(
+            "score",
+            {
+                "algorithm": builder.name,
+                "normalized": report.normalized,
+                "total": report.total,
+                "covered": report.covered_count,
+                "categories": len(tree),
+            },
+        )
     print(
         f"{builder.name}: score={report.normalized:.4f} "
         f"covered={report.covered_count}/{len(instance)} "
@@ -242,18 +271,41 @@ def make_parser() -> argparse.ArgumentParser:
             "bitset kernel (on), plain set operations (off), or "
             "size-based auto-selection (default)",
         )
+        p.add_argument(
+            "--trace",
+            action="store_true",
+            help="collect per-stage spans/counters and print them "
+            "after the run",
+        )
+        p.add_argument(
+            "--manifest",
+            metavar="PATH",
+            help="write a machine-readable run manifest JSON here "
+            "(implies tracing)",
+        )
+        p.add_argument(
+            "--profile",
+            metavar="PATH",
+            help="dump cProfile stats of the run here (implies tracing)",
+        )
 
-    p_build = sub.add_parser("build", help="build one tree")
-    add_common(p_build)
-    p_build.add_argument(
-        "--algorithm",
-        choices=["ctcr", "cct", "ic-s", "ic-q", "et"],
-        default="ctcr",
-    )
-    p_build.add_argument("--output", help="write the tree JSON here")
-    p_build.add_argument("--show", action="store_true",
-                         help="print the tree structure")
-    p_build.set_defaults(func=cmd_build)
+    # "oct" is the paper's name for the problem; both spellings build one
+    # tree with identical flags.
+    for cmd_name, cmd_help in (
+        ("build", "build one tree"),
+        ("oct", "alias for build"),
+    ):
+        p_build = sub.add_parser(cmd_name, help=cmd_help)
+        add_common(p_build)
+        p_build.add_argument(
+            "--algorithm",
+            choices=["ctcr", "cct", "ic-s", "ic-q", "et"],
+            default="ctcr",
+        )
+        p_build.add_argument("--output", help="write the tree JSON here")
+        p_build.add_argument("--show", action="store_true",
+                             help="print the tree structure")
+        p_build.set_defaults(func=cmd_build)
 
     p_eval = sub.add_parser("evaluate", help="score a saved tree")
     add_common(p_eval)
@@ -286,8 +338,45 @@ def make_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _run_config(args) -> dict:
+    """The manifest's record of what was asked for (flag values)."""
+    skip = {"func", "trace", "manifest", "profile"}
+    return {k: v for k, v in vars(args).items() if k not in skip}
+
+
+def _run_observed(args) -> int:
+    """Run one command under a tracer; report as the flags request."""
+    import cProfile
+
+    profiler = cProfile.Profile() if args.profile else None
+    with use_tracer(Tracer()) as tracer:
+        with tracer.span(f"cli.{args.command}"):
+            if profiler is not None:
+                profiler.enable()
+            try:
+                rc = args.func(args)
+            finally:
+                if profiler is not None:
+                    profiler.disable()
+    if profiler is not None:
+        profiler.dump_stats(args.profile)
+        print(f"profile written to {args.profile}", file=sys.stderr)
+    if args.trace:
+        print(tracer.format_tree(), file=sys.stderr)
+    if args.manifest:
+        manifest = RunManifest.collect(
+            tracer, tool=f"repro {args.command}", config=_run_config(args)
+        )
+        manifest.save(args.manifest)
+        print(f"manifest written to {args.manifest}", file=sys.stderr)
+    return rc
+
+
 def main(argv: list[str] | None = None) -> int:
     args = make_parser().parse_args(argv)
+    if getattr(args, "trace", False) or getattr(args, "manifest", None) \
+            or getattr(args, "profile", None):
+        return _run_observed(args)
     return args.func(args)
 
 

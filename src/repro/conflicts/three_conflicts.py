@@ -15,6 +15,7 @@ the structural property the Exact variant enjoys by definition.
 from __future__ import annotations
 
 from repro.conflicts.two_conflicts import PairwiseAnalysis
+from repro.observability import get_tracer
 
 Triple = tuple[int, int, int]
 
@@ -25,6 +26,11 @@ def compute_three_conflicts(analysis: PairwiseAnalysis) -> set[Triple]:
     Returned triples are sorted by rank (best-ranked first) so each
     conflict has one canonical representation.
     """
+    with get_tracer().span("conflicts.three"):
+        return _compute_three_conflicts(analysis)
+
+
+def _compute_three_conflicts(analysis: PairwiseAnalysis) -> set[Triple]:
     ranking = analysis.ranking
     adjacency = analysis.must_neighbors()
     conflicts: set[Triple] = set()
@@ -48,4 +54,5 @@ def compute_three_conflicts(analysis: PairwiseAnalysis) -> set[Triple]:
                     )
                 )
                 conflicts.add(triple)  # type: ignore[arg-type]
+    get_tracer().count("conflicts.three_conflicts", len(conflicts))
     return conflicts

@@ -25,6 +25,7 @@ from repro.conflicts.ranking import Ranking, rank_sets
 from repro.core.bitset import BitsetUniverse
 from repro.core.input_sets import InputSet, OCTInstance
 from repro.core.variants import Variant
+from repro.observability import get_tracer
 from repro.utils.parallel import parallel_map
 
 Pair = tuple[int, int]  # (upper sid, lower sid) — upper ranks first
@@ -136,6 +137,9 @@ def _install_worker_state(
 def _classify_chunk(jobs: list[_PairJob]) -> list[tuple[bool, bool]]:
     variant: Variant = _WORKER_STATE["variant"]
     instance: OCTInstance = _WORKER_STATE["instance"]
+    # Counted here (inside the worker) so pool runs exercise the
+    # counter-aggregation path; parallel_map ships the delta back.
+    get_tracer().count("conflicts.pairs_classified", len(jobs))
     results = []
     for job in jobs:
         upper = instance.get(job.upper_sid)
@@ -229,12 +233,31 @@ def compute_pairwise(
     across its stages). Both engines produce identical analyses.
     """
     ranking = ranking or rank_sets(instance)
-    if universe is not None or bitset.should_use(
-        len(instance), len(instance.universe), use_bitset
-    ):
-        return _compute_pairwise_bitset(
-            instance, variant, ranking, n_jobs, universe
-        )
+    tracer = get_tracer()
+    with tracer.span("conflicts.pairwise"):
+        if universe is not None or bitset.should_use(
+            len(instance), len(instance.universe), use_bitset
+        ):
+            analysis = _compute_pairwise_bitset(
+                instance, variant, ranking, n_jobs, universe
+            )
+        else:
+            analysis = _compute_pairwise_sets(
+                instance, variant, ranking, n_jobs
+            )
+        tracer.count("conflicts.pairs_enumerated", len(analysis.intersections))
+        tracer.count("conflicts.two_conflicts", len(analysis.conflicts))
+        tracer.count("conflicts.must_together", len(analysis.must_together))
+        return analysis
+
+
+def _compute_pairwise_sets(
+    instance: OCTInstance,
+    variant: Variant,
+    ranking: Ranking,
+    n_jobs: int,
+) -> PairwiseAnalysis:
+    """Reference path: per-item inverted index + scalar closed forms."""
     analysis = PairwiseAnalysis(ranking=ranking)
     jobs: list[_PairJob] = []
     for (a, b), (shared, shared_b1) in _intersection_counts(instance).items():

@@ -39,6 +39,7 @@ except ImportError:  # pragma: no cover - the container always has numpy
     np = None  # type: ignore[assignment]
 
 from repro.core.variants import ScoreMode, SimilarityKind, Variant
+from repro.observability import get_tracer
 
 # Same cutoff epsilon as repro.core.similarity.variant_score_from_sizes.
 _SCORE_EPS = 1e-12
@@ -102,12 +103,16 @@ def _install_shared_matrix(matrix) -> None:
 
 def _block_intersections(ranges: list[tuple[int, int]]) -> list:
     matrix = _SHARED["matrix"]
+    tracer = get_tracer()
     out = []
     for lo, hi in ranges:
         out.append(
             _popcount(matrix[lo:hi, None, :] & matrix[None, :, :]).sum(
                 -1, dtype=np.int64
             )
+        )
+        tracer.count(
+            "bitset.words_touched", (hi - lo) * matrix.shape[0] * matrix.shape[1]
         )
     return out
 
@@ -211,6 +216,7 @@ class BitsetUniverse:
                 bits = np.uint64(1) << (self._cols & 63).astype(np.uint64)
                 np.bitwise_or.at(m.reshape(-1), flat, bits)
             self._matrix = m
+            get_tracer().count("bitset.words_packed", m.size)
         return self._matrix
 
     def pack(self, items: Iterable) -> "np.ndarray":
@@ -235,6 +241,7 @@ class BitsetUniverse:
 
     def intersection_sizes(self, packed: "np.ndarray") -> "np.ndarray":
         """``|set_r & packed|`` for every row ``r``, in one popcount pass."""
+        get_tracer().count("bitset.words_touched", self.n_sets * self.n_words)
         return _popcount(self.matrix & packed).sum(-1, dtype=np.int64)
 
     def rowwise_intersections(
@@ -242,6 +249,7 @@ class BitsetUniverse:
     ) -> "np.ndarray":
         """``|set_rows[k] & packed[k]|`` elementwise over aligned rows."""
         idx = np.asarray(rows, dtype=np.int64)
+        get_tracer().count("bitset.words_touched", idx.size * self.n_words)
         return _popcount(self.matrix[idx] & packed).sum(-1, dtype=np.int64)
 
     def pairwise_intersections(self, n_jobs: int = 1) -> "np.ndarray":
@@ -255,6 +263,7 @@ class BitsetUniverse:
         from repro.utils.parallel import parallel_map
 
         if self._pairwise is not None:
+            get_tracer().count("bitset.pairwise_cache_hits")
             return self._pairwise
         n = self.n_sets
         out = np.zeros((n, n), dtype=np.int64)
@@ -325,6 +334,7 @@ class BitsetUniverse:
             counts = tallies[keys]
         else:
             keys, counts = np.unique(all_keys, return_counts=True)
+        get_tracer().count("bitset.pairs_enumerated", int(keys.size))
         return keys // n, keys % n, counts.astype(np.int64)
 
     # -- batched score matrices -------------------------------------------

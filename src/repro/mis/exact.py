@@ -15,6 +15,7 @@ import sys
 from repro.core.exceptions import SolverError
 from repro.mis.graph import Vertex, WeightedGraph
 from repro.mis.reductions import expand_solution, reduce_graph
+from repro.observability import get_tracer
 
 
 class BudgetExceededError(SolverError):
@@ -111,9 +112,15 @@ def solve_exact(
         sys.setrecursionlimit(needed_depth)
     kernel_solution: set[Vertex] = set()
     remaining_budget = node_budget
+    tracer = get_tracer()
     for component in kernel.connected_components():
         sub = kernel.subgraph(component)
         solver = _BranchAndBound(sub, remaining_budget)
-        kernel_solution |= solver.solve()
+        tracer.count("mis.components")
+        try:
+            kernel_solution |= solver.solve()
+        finally:
+            # Recorded even when the budget blows: partial work is real work.
+            tracer.count("mis.nodes_expanded", solver.nodes_used)
         remaining_budget -= solver.nodes_used
     return expand_solution(reduced, kernel_solution)

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Hashable, Iterable
 
 from repro.mis.exact import BudgetExceededError
+from repro.observability import get_tracer
 
 Vertex = Hashable
 
@@ -185,11 +186,13 @@ def solve_hypergraph_mis(
         sys.setrecursionlimit(needed_depth)
     solution: set[Vertex] = set()
     remaining = node_budget
+    tracer = get_tracer()
     for component in sorted(hg.connected_components(), key=len):
         sub = _subhypergraph(hg, component)
         if not sub.edges:
             solution |= component
             continue
+        tracer.count("mis.components")
         attempt_exact = (
             exact and remaining > 0 and len(component) <= max_exact_component
         )
@@ -198,8 +201,11 @@ def solve_hypergraph_mis(
             try:
                 solution |= solver.solve()
                 remaining -= solver.nodes_used
+                tracer.count("mis.nodes_expanded", solver.nodes_used)
                 continue
             except BudgetExceededError:
+                tracer.count("mis.nodes_expanded", solver.nodes_used)
                 remaining = 0
+        tracer.count("mis.greedy_fallbacks")
         solution |= greedy_hypergraph_mis(sub)
     return solution

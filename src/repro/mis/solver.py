@@ -18,6 +18,7 @@ from repro.mis.hypergraph_mis import (
     WeightedHypergraph,
     solve_hypergraph_mis,
 )
+from repro.observability import get_tracer
 
 Vertex = int
 
@@ -46,15 +47,17 @@ def solve_conflicts(
 ) -> set[Vertex]:
     """Maximum-weight conflict-free subset of input-set ids."""
     config = config or MISConfig()
-    has_triples = any(len(edge) == 3 for edge in hg.edges)
-    if has_triples:
-        return solve_hypergraph_mis(
-            hg, node_budget=config.node_budget, exact=config.exact
-        )
-    graph = _to_graph(hg)
-    if config.exact:
-        try:
-            return solve_exact(graph, node_budget=config.node_budget)
-        except BudgetExceededError:
-            pass
-    return solve_greedy(graph)
+    tracer = get_tracer()
+    with tracer.span("mis.solve"):
+        has_triples = any(len(edge) == 3 for edge in hg.edges)
+        if has_triples:
+            return solve_hypergraph_mis(
+                hg, node_budget=config.node_budget, exact=config.exact
+            )
+        graph = _to_graph(hg)
+        if config.exact:
+            try:
+                return solve_exact(graph, node_budget=config.node_budget)
+            except BudgetExceededError:
+                tracer.count("mis.greedy_fallbacks")
+        return solve_greedy(graph)

@@ -21,6 +21,7 @@ from repro.pipeline.result_sets import (
     compute_result_sets,
     relevance_threshold_for,
 )
+from repro.observability import get_tracer
 from repro.pipeline.weighting import (
     frequency_weights,
     recent_window_weights,
@@ -66,6 +67,7 @@ def preprocess(
     """Run the full pipeline over a dataset for a given variant."""
     config = config or PreprocessConfig()
     report = PreprocessReport(raw_queries=len(dataset.query_log))
+    tracer = get_tracer()
     threshold = (
         relevance_threshold_for(variant)
         if config.relevance_threshold is None
@@ -73,47 +75,53 @@ def preprocess(
     )
     report.relevance_threshold = threshold
 
-    if config.clean:
-        queries = clean_queries(
-            dataset.query_log,
-            dataset.engine,
-            dataset.existing_tree,
-            threshold,
-            config.cleaning,
-            window=config.recent_window,
-        )
-    else:
-        queries = list(dataset.query_log.queries)
+    with tracer.span("pipeline.clean"):
+        if config.clean:
+            queries = clean_queries(
+                dataset.query_log,
+                dataset.engine,
+                dataset.existing_tree,
+                threshold,
+                config.cleaning,
+                window=config.recent_window,
+            )
+        else:
+            queries = list(dataset.query_log.queries)
     report.after_cleaning = len(queries)
+    tracer.count("pipeline.queries_cleaned", len(queries))
 
-    results = compute_result_sets(
-        queries, dataset.engine, threshold,
-        min_size=config.cleaning.min_result_size,
-    )
+    with tracer.span("pipeline.result_sets"):
+        results = compute_result_sets(
+            queries, dataset.engine, threshold,
+            min_size=config.cleaning.min_result_size,
+        )
     report.with_result_sets = len(results)
 
-    if config.recent_window is not None:
-        # An explicit recency request overrides the dataset's default
-        # weighting (even uniform-weight public data has a usable log).
-        weights = recent_window_weights(
-            results, dataset.query_log, config.recent_window
-        )
-    elif dataset.uniform_weights:
-        weights = uniform_weights(results)
-    else:
-        weights = frequency_weights(results)
-
-    if config.merge_queries:
-        merged = merge_similar_queries(results, weights, variant)
-    else:
-        # Unmerged entries reuse the merged-query shape for uniformity.
-        merged = [
-            MergedQuery(
-                text=r.text, items=r.items, weight=w, merged_texts=(r.text,)
+    with tracer.span("pipeline.weighting"):
+        if config.recent_window is not None:
+            # An explicit recency request overrides the dataset's default
+            # weighting (even uniform-weight public data has a usable log).
+            weights = recent_window_weights(
+                results, dataset.query_log, config.recent_window
             )
-            for r, w in zip(results, weights)
-        ]
+        elif dataset.uniform_weights:
+            weights = uniform_weights(results)
+        else:
+            weights = frequency_weights(results)
+
+    with tracer.span("pipeline.merge"):
+        if config.merge_queries:
+            merged = merge_similar_queries(results, weights, variant)
+        else:
+            # Unmerged entries reuse the merged-query shape for uniformity.
+            merged = [
+                MergedQuery(
+                    text=r.text, items=r.items, weight=w, merged_texts=(r.text,)
+                )
+                for r, w in zip(results, weights)
+            ]
     report.after_merging = len(merged)
+    tracer.count("pipeline.merged_sets", len(merged))
 
     overrides = config.threshold_overrides or {}
     sets = [

@@ -5,13 +5,23 @@ computed in parallel, as are per-category cover scores in the item
 assignment phase. :func:`parallel_map` is the single switch point — with
 ``n_jobs=1`` (the default) everything runs serially and deterministically,
 while ``n_jobs>1`` fans chunks out to a process pool.
+
+Tracing (:mod:`repro.observability`) survives the pool: when the parent
+has an enabled tracer, each worker is given a fresh tracer through the
+pool initializer and every chunk ships its counter deltas back alongside
+its results, so parent counters are identical to a serial run.  Worker
+span timings are deliberately *not* merged — concurrent wall clocks do
+not add up; the parent's enclosing span already times the fan-out.
 """
 
 from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
+from functools import partial
 from typing import Callable, Sequence, TypeVar
+
+from repro.observability import Tracer, get_tracer, set_tracer
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -41,6 +51,33 @@ def chunked(seq: Sequence[T], n_chunks: int) -> list[list[T]]:
     return chunks
 
 
+# -- tracing shims (module-level so they pickle into workers) --------------
+
+
+def _traced_initializer(initializer: Callable | None, initargs: tuple) -> None:
+    """Worker bootstrap: install a fresh tracer, then the caller's state."""
+    set_tracer(Tracer())
+    if initializer is not None:
+        initializer(*initargs)
+
+
+def _traced_chunk(fn: Callable, chunk: list) -> tuple[list, dict[str, int]]:
+    """Run one chunk and return its results plus worker counter deltas.
+
+    Workers persist across chunks, so deltas are measured against a
+    snapshot taken at chunk entry rather than assuming zeroed counters.
+    """
+    tracer = get_tracer()
+    before = dict(tracer.counters)
+    results = fn(chunk)
+    delta = {
+        name: value - before.get(name, 0)
+        for name, value in tracer.counters.items()
+        if value != before.get(name, 0)
+    }
+    return results, delta
+
+
 def parallel_map(
     fn: Callable[[list[T]], list[R]],
     items: Sequence[T],
@@ -67,6 +104,18 @@ def parallel_map(
         return fn(list(items))
     chunks = chunked(items, n_jobs * 4)
     results: list[R] = []
+    tracer = get_tracer()
+    if tracer.enabled:
+        wrapped = partial(_traced_chunk, fn)
+        with ProcessPoolExecutor(
+            max_workers=n_jobs,
+            initializer=_traced_initializer,
+            initargs=(initializer, initargs),
+        ) as pool:
+            for part, delta in pool.map(wrapped, chunks):
+                results.extend(part)
+                tracer.merge_counters(delta)
+        return results
     with ProcessPoolExecutor(
         max_workers=n_jobs, initializer=initializer, initargs=initargs
     ) as pool:

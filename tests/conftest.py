@@ -6,6 +6,21 @@ import pytest
 
 from repro.catalog import load_dataset
 from repro.core import OCTInstance, Variant, make_instance
+from repro.observability import get_tracer, set_tracer
+
+
+@pytest.fixture(autouse=True)
+def _isolate_active_tracer():
+    """Restore the process-wide tracer after every test.
+
+    Importing :mod:`benchmarks.common` (the bench smoke tests do)
+    installs an enabled tracer for its process; without this guard that
+    side effect would leak into later tests that assert the default
+    null-tracer state.
+    """
+    before = get_tracer()
+    yield
+    set_tracer(before)
 
 
 @pytest.fixture(scope="session")

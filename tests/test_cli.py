@@ -119,3 +119,89 @@ class TestCommands:
         assert rc == 0
         assert "trending queries" in out
         assert "fading queries" in out
+
+
+class TestObservabilityFlags:
+    COMMON = ["--dataset", "A", "--scale", "0.01", "--seed", "7"]
+
+    def test_oct_alias_builds_a_tree(self, capsys):
+        rc = main(["oct", *self.COMMON])
+        assert rc == 0
+        assert "CTCR: score=" in capsys.readouterr().out
+
+    def test_trace_prints_span_tree(self, capsys):
+        rc = main(["oct", *self.COMMON, "--trace"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "ctcr.build" in captured.err
+        assert "counters:" in captured.err
+
+    def test_manifest_written_with_spans_counters_score(self, tmp_path):
+        import json
+
+        path = tmp_path / "manifest.json"
+        rc = main(["oct", *self.COMMON, "--manifest", str(path)])
+        assert rc == 0
+        manifest = json.loads(path.read_text())
+        assert len({s["name"] for s in manifest["spans"]}) >= 6
+        assert len(manifest["counters"]) >= 4
+        assert manifest["score"]["algorithm"] == "CTCR"
+        assert 0.0 <= manifest["score"]["normalized"] <= 1.0
+        assert manifest["dataset"]["n_sets"] > 0
+        assert manifest["config"]["seed"] == 7
+        assert manifest["tool"] == "repro oct"
+
+    def test_manifest_round_trips_through_loader(self, tmp_path):
+        from repro.observability import RunManifest
+
+        path = tmp_path / "manifest.json"
+        main(["build", *self.COMMON, "--manifest", str(path)])
+        manifest = RunManifest.load(path)
+        assert manifest.totals["wall_s"] > 0
+        assert manifest.dominant_spans(top=1)[0]["wall_s"] > 0
+
+    def test_tracing_does_not_change_the_tree(self, capsys, tmp_path):
+        plain = tmp_path / "plain.json"
+        traced = tmp_path / "traced.json"
+        main(["build", *self.COMMON, "--output", str(plain)])
+        main(
+            [
+                "build", *self.COMMON, "--output", str(traced),
+                "--trace", "--manifest", str(tmp_path / "m.json"),
+            ]
+        )
+        capsys.readouterr()
+        assert plain.read_text() == traced.read_text()
+
+    def test_profile_dump(self, tmp_path):
+        import pstats
+
+        path = tmp_path / "run.prof"
+        rc = main(["oct", *self.COMMON, "--profile", str(path)])
+        assert rc == 0
+        stats = pstats.Stats(str(path))
+        assert stats.total_calls > 0
+
+    def test_tracer_restored_after_run(self):
+        # The previously active tracer (usually the null tracer, but e.g.
+        # the benchmark suite installs its own) comes back afterwards.
+        from repro.observability import get_tracer
+
+        before = get_tracer()
+        main(["oct", *self.COMMON, "--trace"])
+        assert get_tracer() is before
+
+    def test_manifest_for_other_commands(self, tmp_path):
+        import json
+
+        path = tmp_path / "sweep.json"
+        rc = main(
+            [
+                "sweep", *self.COMMON, "--manifest", str(path),
+                "--start", "0.8", "--stop", "0.9", "--step", "0.1",
+            ]
+        )
+        assert rc == 0
+        manifest = json.loads(path.read_text())
+        assert manifest["tool"] == "repro sweep"
+        assert any(s["name"] == "ctcr.build" for s in manifest["spans"])

@@ -4,6 +4,11 @@ The bitset kernel mirrors the scalar closed forms term for term, so the
 two engines must agree exactly — same pair classifications, same trees,
 same scores — on every instance, variant, and job count. These tests pin
 that contract.
+
+The same differential harness pins the observability layer: tracing is
+measurement only, so builds with tracing enabled must be bit-identical —
+trees, scores, diagnostics — to builds with the null tracer, for both
+algorithms, both engines, and every job count (TestTracingEquivalence).
 """
 
 from __future__ import annotations
@@ -12,11 +17,12 @@ import pytest
 
 np = pytest.importorskip("numpy")
 
-from repro.algorithms import CTCR, CTCRConfig
+from repro.algorithms import CCT, CTCR, CTCRConfig
 from repro.conflicts.two_conflicts import compute_pairwise
 from repro.core import OCTInstance, Variant, make_instance, score_tree
 from repro.core.input_sets import InputSet
 from repro.io import tree_to_dict
+from repro.observability import Tracer, use_tracer
 from repro.utils import make_rng
 
 
@@ -150,3 +156,82 @@ class TestTreeEquivalence:
                 instance, variant, use_bitset=use_bitset, n_jobs=4
             )
             assert fanned == baseline
+
+
+def ctcr_fingerprint_with_diag(instance, variant, **config):
+    """(tree, scores, diagnostics) — everything tracing must not change."""
+    builder = CTCR(CTCRConfig(**config))
+    tree = builder.build(instance, variant)
+    report = score_tree(tree, instance, variant)
+    return (
+        tree_to_dict(tree),
+        report.normalized,
+        report.total,
+        tree.to_text(),
+        builder.last_diagnostics.as_dict(),
+    )
+
+
+class TestTracingEquivalence:
+    """Tracing on vs. off is a no-op for every observable output."""
+
+    @pytest.mark.parametrize(
+        "variant", EQUIV_VARIANTS, ids=lambda v: str(v)
+    )
+    @pytest.mark.parametrize(
+        "use_bitset", [False, True], ids=["sets", "bitset"]
+    )
+    @pytest.mark.parametrize("n_jobs", [1, 2], ids=["serial", "pool"])
+    def test_ctcr_identical_under_tracing(self, variant, use_bitset, n_jobs):
+        instance = random_instance(23, n_sets=25)
+        config = dict(use_bitset=use_bitset, n_jobs=n_jobs)
+        off = ctcr_fingerprint_with_diag(instance, variant, **config)
+        with use_tracer(Tracer()) as tracer:
+            on = ctcr_fingerprint_with_diag(instance, variant, **config)
+        assert on == off
+        # The traced run actually collected something.
+        assert any(s.name == "ctcr.build" for s in tracer.spans.values())
+        assert tracer.counters
+
+    @pytest.mark.parametrize(
+        "variant", EQUIV_VARIANTS, ids=lambda v: str(v)
+    )
+    def test_cct_identical_under_tracing(self, variant):
+        instance = random_instance(29, n_sets=20)
+
+        def fingerprint():
+            tree = CCT().build(instance, variant)
+            report = score_tree(tree, instance, variant)
+            return tree_to_dict(tree), report.normalized, tree.to_text()
+
+        off = fingerprint()
+        with use_tracer(Tracer()) as tracer:
+            on = fingerprint()
+        assert on == off
+        assert any(s.name == "cct.build" for s in tracer.spans.values())
+
+    def test_paper_examples_identical_under_tracing(
+        self, figure2_instance, example32_instance, all_variants
+    ):
+        for instance in (figure2_instance, example32_instance):
+            for variant in all_variants:
+                for use_bitset in (False, True):
+                    off = ctcr_fingerprint_with_diag(
+                        instance, variant, use_bitset=use_bitset
+                    )
+                    with use_tracer(Tracer()):
+                        on = ctcr_fingerprint_with_diag(
+                            instance, variant, use_bitset=use_bitset
+                        )
+                    assert on == off
+
+    def test_pairwise_analysis_identical_under_tracing(self):
+        variant = Variant.threshold_jaccard(0.5)
+        for use_bitset in (False, True):
+            instance = random_instance(31)
+            off = compute_pairwise(instance, variant, use_bitset=use_bitset)
+            with use_tracer(Tracer()):
+                on = compute_pairwise(
+                    instance, variant, use_bitset=use_bitset
+                )
+            assert_same_analysis(off, on)

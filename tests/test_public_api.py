@@ -16,6 +16,7 @@ PACKAGES = [
     "repro.evaluation",
     "repro.maintenance",
     "repro.mis",
+    "repro.observability",
     "repro.pipeline",
     "repro.search",
     "repro.utils",
