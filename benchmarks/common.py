@@ -16,7 +16,9 @@ observability regression test).
 
 from __future__ import annotations
 
+import json
 import sys
+from datetime import datetime, timezone
 from pathlib import Path
 from typing import Sequence
 
@@ -86,6 +88,27 @@ def bench_report(
     with RESULTS_LOG.open("a", encoding="utf-8") as f:
         f.write(block + "\n")
     _write_manifest()
+
+
+def write_bench_json(name: str, payload: dict) -> Path:
+    """Write a machine-readable result file ``benchmarks/BENCH_<name>.json``.
+
+    Unlike the per-run manifests, these files live at a stable path so
+    the benchmark *trajectory* is diffable across commits: each writer
+    overwrites its own file with the latest numbers plus the run id that
+    produced them (the matching manifest keeps the full span/counter
+    context).
+    """
+    path = Path(__file__).parent / f"BENCH_{name}.json"
+    document = {
+        "bench": name,
+        "run_id": bench_run_id(),
+        "created_at": datetime.now(timezone.utc).isoformat(),
+        **payload,
+    }
+    path.write_text(json.dumps(document, indent=2, sort_keys=False) + "\n")
+    print(f"bench json written to {path}", file=sys.__stdout__)
+    return path
 
 
 def all_builders(dataset):

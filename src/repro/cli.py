@@ -40,6 +40,7 @@ from repro.evaluation import (
 )
 from repro.catalog.trends import detect_trending_queries, fading_queries
 from repro.io import dump_instance, dump_tree, load_instance, load_tree
+from repro.mis.solver import MISConfig
 from repro.observability import (
     RunManifest,
     Tracer,
@@ -100,12 +101,16 @@ def _jobs_arg(raw: str) -> int:
 
 
 def _ctcr_config(args) -> CTCRConfig:
-    """CTCR tuning from the common CLI flags (--jobs, --bitset)."""
+    """CTCR tuning from the common CLI flags (--jobs, --bitset, --mis-*)."""
     use_bitset = {"auto": None, "on": True, "off": False}[
         getattr(args, "bitset", "auto")
     ]
+    mis = MISConfig(
+        n_jobs=getattr(args, "mis_jobs", 1),
+        use_cache=getattr(args, "mis_cache", "on") == "on",
+    )
     return CTCRConfig(
-        n_jobs=getattr(args, "jobs", 1), use_bitset=use_bitset
+        mis=mis, n_jobs=getattr(args, "jobs", 1), use_bitset=use_bitset
     )
 
 
@@ -270,6 +275,22 @@ def make_parser() -> argparse.ArgumentParser:
             help="batched-intersection engine for CTCR: the packed "
             "bitset kernel (on), plain set operations (off), or "
             "size-based auto-selection (default)",
+        )
+        p.add_argument(
+            "--mis-jobs",
+            type=_jobs_arg,
+            default=1,
+            help="worker processes for the hypergraph MIS stage: "
+            "conflict components solve in parallel "
+            "(-1 = all CPUs, default: 1)",
+        )
+        p.add_argument(
+            "--mis-cache",
+            choices=["on", "off"],
+            default="on",
+            help="memoize solved MIS components across builds in this "
+            "process — threshold sweeps re-solve near-identical "
+            "conflict structures per delta (default: on)",
         )
         p.add_argument(
             "--trace",

@@ -28,16 +28,45 @@ class ConflictHypergraph:
     weights: dict[int, float]
     pairs: set[tuple[int, int]] = field(default_factory=set)
     triples: set[Triple] = field(default_factory=set)
+    # Lazily-built incidence index, invalidated by edge-count signature
+    # (edges are only ever added, never removed, after construction).
+    _incidence: dict[int, list[tuple[int, ...]]] | None = field(
+        default=None, repr=False, compare=False
+    )
+    _incidence_sig: tuple[int, int] = field(
+        default=(-1, -1), repr=False, compare=False
+    )
 
     @property
     def num_edges(self) -> int:
         return len(self.pairs) + len(self.triples)
 
+    def incidence(self) -> dict[int, list[tuple[int, ...]]]:
+        """Vertex -> incident conflict (hyper)edges, built once and cached.
+
+        The index is rebuilt only when the edge counts change (e.g. after
+        :func:`build_conflict_hypergraph` fills in the triples), so
+        repeated :meth:`degree` probes — and the reduction rules that
+        walk neighbourhoods — stop paying an O(|E|) scan per call.
+        """
+        sig = (len(self.pairs), len(self.triples))
+        if self._incidence is None or self._incidence_sig != sig:
+            index: dict[int, list[tuple[int, ...]]] = {
+                v: [] for v in self.vertices
+            }
+            for edge in self.pairs:
+                for v in edge:
+                    index[v].append(edge)
+            for edge in self.triples:
+                for v in edge:
+                    index[v].append(edge)
+            self._incidence = index
+            self._incidence_sig = sig
+        return self._incidence
+
     def degree(self, vertex: int) -> int:
         """Number of conflict (hyper)edges touching a vertex."""
-        pair_deg = sum(1 for e in self.pairs if vertex in e)
-        triple_deg = sum(1 for e in self.triples if vertex in e)
-        return pair_deg + triple_deg
+        return len(self.incidence()[vertex])
 
     def is_independent(self, selected: set[int]) -> bool:
         """True when no conflict edge is fully contained in ``selected``."""

@@ -54,6 +54,40 @@ def available() -> bool:
     return np is not None
 
 
+# ---------------------------------------------------------------------------
+# Arbitrary-precision int bitsets. NumPy rows are the right shape for dense
+# batched popcounts, but enumeration-style consumers (the 3-conflict stage,
+# the hypergraph branch-and-bound) want cheap single-row AND/iterate over
+# sparse adjacency. Python ints are packed 64-bit words under the hood, so
+# they serve as the kernel's scalar-row representation: one AND is a C-level
+# word loop and these helpers never need NumPy at all.
+# ---------------------------------------------------------------------------
+
+
+def mask_of(indices: Iterable[int]) -> int:
+    """Pack bit positions into one arbitrary-precision int bitset.
+
+    >>> bin(mask_of([0, 2, 5]))
+    '0b100101'
+    """
+    mask = 0
+    for i in indices:
+        mask |= 1 << i
+    return mask
+
+
+def iter_bits(mask: int):
+    """Yield the set bit positions of an int bitset, ascending.
+
+    >>> list(iter_bits(0b100101))
+    [0, 2, 5]
+    """
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
 def should_use(
     n_sets: int, n_items: int, flag: bool | None = None
 ) -> bool:

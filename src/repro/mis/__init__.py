@@ -1,5 +1,6 @@
 """Maximum-weight independent set solvers (graphs and hypergraphs)."""
 
+from repro.mis.cache import MISComponentCache, clear_mis_cache, get_mis_cache
 from repro.mis.exact import BudgetExceededError, clique_cover_bound, solve_exact
 from repro.mis.graph import WeightedGraph
 from repro.mis.greedy import (
@@ -13,22 +14,31 @@ from repro.mis.hypergraph_mis import (
     greedy_hypergraph_mis,
     solve_hypergraph_mis,
 )
+from repro.mis.hypergraph_reductions import (
+    HyperReductionResult,
+    reduce_hypergraph,
+)
 from repro.mis.reductions import ReductionResult, expand_solution, reduce_graph
 from repro.mis.solver import MISConfig, solve_conflicts
 
 __all__ = [
     "BudgetExceededError",
+    "HyperReductionResult",
+    "MISComponentCache",
     "MISConfig",
     "ReductionResult",
     "WeightedGraph",
     "WeightedHypergraph",
+    "clear_mis_cache",
     "clique_cover_bound",
     "expand_solution",
+    "get_mis_cache",
     "greedy_hypergraph_mis",
     "greedy_mwis",
     "iterated_local_search",
     "local_search",
     "reduce_graph",
+    "reduce_hypergraph",
     "solve_conflicts",
     "solve_exact",
     "solve_greedy",

@@ -1,0 +1,324 @@
+"""Kernelization for weighted MIS on mixed 2/3-edge hypergraphs.
+
+The weighted reductions of :mod:`repro.mis.reductions` (Lamm et al.,
+ALENEX'19) lift to conflict hypergraphs once restricted to *pair-only*
+vertices — vertices whose incident edges all have size 2. The key
+observations making the lift sound:
+
+* **Excluding** a vertex voids every hyperedge containing it (an edge is
+  violated only when *fully* selected), so neighbours of a reduced
+  vertex may freely sit in 3-edges.
+* **Taking** a vertex is only done when its entire pair-neighbourhood is
+  excluded in the same step, so no edge ever needs contracting.
+
+Rules, with the extra hypergraph-side conditions:
+
+* **isolated vertex** — any vertex with no incident edge is taken.
+* **neighbourhood removal** — a pair-only ``v`` outweighing its pair
+  neighbourhood is taken; the exchange argument only ever *adds* ``v``
+  (safe: all of ``v``'s edges are pairs into the removed set) and
+  *removes* neighbours (always safe), so neighbours may carry 3-edges.
+* **weighted degree-1 fold** — pair-only pendant ``v`` with neighbour
+  ``u``: remove ``v``, charge ``w(u) -= w(v)``; ``u`` keeps its other
+  (2- or 3-) edges untouched.
+* **weighted degree-2 fold** — pair-only ``v`` with exactly two pair
+  edges to ``u, x``, no 2-edge ``{u, x}``, and
+  ``max(w(u), w(x)) <= w(v) < w(u) + w(x)``: fold into a synthetic
+  vertex meaning "take both u and x". Every surviving edge of ``u`` or
+  ``x`` is rewired onto the synthetic vertex; a 3-edge containing both
+  (legal — it does not forbid the pair) collapses to a 2-edge, so edge
+  sizes stay within 2..3.
+* **simplicial vertex** — pair-only ``v`` whose pair-neighbours form a
+  clique *of 2-edges* (3-edges do not make two vertices exclusive) with
+  ``v`` heaviest: take ``v``.
+* **twins** — pair-only ``u, v`` with identical pair-neighbourhoods and
+  no edge ``{u, v}`` merge into one vertex of combined weight.
+* **domination** — ``v`` (which *may* carry 3-edges: it is only ever
+  excluded) is removed when some pair-only 2-edge neighbour ``u`` has
+  ``w(u) >= w(v)`` and ``N_pair[u] ⊆ N_pair[v] ∪ {v}``; swapping ``v``
+  for ``u`` in any solution never loses weight.
+
+The replay log uses the same ``("fold" | "twin" | "fold2", ...)`` event
+vocabulary as the graph reductions, so
+:func:`repro.mis.reductions.expand_solution` lifts kernel solutions back
+unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Hashable
+
+from repro.mis.reductions import expand_solution
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle with hypergraph_mis
+    from repro.mis.hypergraph_mis import WeightedHypergraph
+
+__all__ = ["HyperReductionResult", "reduce_hypergraph", "expand_solution"]
+
+Vertex = Hashable
+
+# Deterministic tie-break for mixed int/tuple vertex sets: repr() is
+# stable across processes (hash randomization only perturbs set order,
+# which is never relied upon here).
+_key = repr
+
+
+@dataclass
+class HyperReductionResult:
+    """Outcome of kernelizing a hypergraph.
+
+    Same contract as :class:`repro.mis.reductions.ReductionResult`:
+    ``chosen`` vertices are already in the solution, ``offset`` is their
+    weight contribution (plus fold charges), and ``events`` is the
+    chronological replay log consumed by :func:`expand_solution`.
+    """
+
+    kernel: "WeightedHypergraph"
+    chosen: set = field(default_factory=set)
+    offset: float = 0.0
+    events: list[tuple] = field(default_factory=list)
+
+
+def reduce_hypergraph(hg: "WeightedHypergraph") -> HyperReductionResult:
+    """Exhaustively apply all reductions; the input is not mutated."""
+    # Imported here: hypergraph_mis wires these reductions in front of
+    # its solver, so a top-level import would be circular.
+    from repro.mis.hypergraph_mis import WeightedHypergraph
+
+    weights: dict[Vertex, float] = dict(hg.weights)
+    inc: dict[Vertex, set[int]] = {v: set() for v in hg.vertices}
+    edges: dict[int, frozenset] = {}
+    live_keys: set[frozenset] = set()
+    next_eid = 0
+    for raw in hg.edges:
+        members = frozenset(raw)
+        if members in live_keys:  # duplicate constraints add nothing
+            continue
+        live_keys.add(members)
+        edges[next_eid] = members
+        for v in members:
+            inc[v].add(next_eid)
+        next_eid += 1
+
+    chosen: set[Vertex] = set()
+    offset = 0.0
+    events: list[tuple] = []
+    synthetics: list[Vertex] = []
+
+    # -- mutation helpers --------------------------------------------------
+
+    def remove_edge(eid: int) -> frozenset:
+        members = edges.pop(eid)
+        live_keys.discard(members)
+        for u in members:
+            inc[u].discard(eid)
+        return members
+
+    def add_edge(members: set) -> None:
+        nonlocal next_eid
+        key = frozenset(members)
+        if key in live_keys:
+            return
+        live_keys.add(key)
+        edges[next_eid] = key
+        for u in key:
+            inc[u].add(next_eid)
+        next_eid += 1
+
+    def drop_vertex(v: Vertex) -> set:
+        """Exclude ``v``: its edges can never be fully selected, so they
+        are void. Returns the other endpoints of the voided edges."""
+        affected: set = set()
+        for eid in list(inc[v]):
+            affected |= remove_edge(eid)
+        del inc[v]
+        del weights[v]
+        affected.discard(v)
+        return affected
+
+    def pair_only(v: Vertex) -> bool:
+        return all(len(edges[eid]) == 2 for eid in inc[v])
+
+    def pair_neighbors(v: Vertex) -> set:
+        return {
+            next(iter(edges[eid] - {v}))
+            for eid in inc[v]
+            if len(edges[eid]) == 2
+        }
+
+    # -- deterministic worklist -------------------------------------------
+
+    worklist: list[Vertex] = sorted(weights, key=_key)
+    queued: set[Vertex] = set(worklist)
+
+    def mark(vs) -> None:
+        for u in sorted(vs, key=_key):
+            if u in weights and u not in queued:
+                worklist.append(u)
+                queued.add(u)
+
+    def take_with_neighborhood(v: Vertex, neighbors: set) -> None:
+        """Take pair-only ``v`` and exclude its whole pair-neighbourhood."""
+        chosen.add(v)
+        offset_add(weights[v])
+        for eid in list(inc[v]):
+            remove_edge(eid)
+        del inc[v]
+        del weights[v]
+        affected: set = set()
+        for u in sorted(neighbors, key=_key):
+            if u in weights:
+                affected |= drop_vertex(u)
+        mark(affected)
+
+    def offset_add(value: float) -> None:
+        nonlocal offset
+        offset += value
+
+    # -- reduction loop ----------------------------------------------------
+
+    while worklist:
+        v = worklist.pop()
+        queued.discard(v)
+        if v not in weights:
+            continue
+
+        # Isolated vertex (any edge profile — there are no edges).
+        if not inc[v]:
+            chosen.add(v)
+            offset_add(weights[v])
+            del inc[v]
+            del weights[v]
+            continue
+
+        neighbors = pair_neighbors(v)
+        w = weights[v]
+
+        if pair_only(v):
+            # Neighbourhood removal (covers heavy pendants).
+            if w >= sum(weights[u] for u in neighbors):
+                take_with_neighborhood(v, neighbors)
+                continue
+
+            # Weighted degree-1 fold (light pendant).
+            if len(inc[v]) == 1:
+                (u,) = neighbors
+                events.append(("fold", v, u))
+                offset_add(w)
+                weights[u] -= w
+                for eid in list(inc[v]):
+                    remove_edge(eid)
+                del inc[v]
+                del weights[v]
+                touched = {u}
+                for eid in inc[u]:
+                    touched |= edges[eid]
+                mark(touched)
+                continue
+
+            # Weighted degree-2 fold.
+            if len(inc[v]) == 2:
+                u, x = sorted(neighbors, key=_key)
+                wu, wx = weights[u], weights[x]
+                if (
+                    frozenset((u, x)) not in live_keys
+                    and max(wu, wx) <= w < wu + wx
+                ):
+                    # Content-determined name (not a running counter):
+                    # identical substructures then fold to identical
+                    # kernels regardless of unrelated folds elsewhere,
+                    # which keeps the component memo-cache keys stable
+                    # across sweep deltas. (v, u, x) leave the graph at
+                    # fold time, so the name cannot collide.
+                    synthetic = ("__fold2__", v, u, x)
+                    rewired: list[frozenset] = []
+                    for z in (u, x):
+                        for eid in sorted(inc[z]):
+                            members = edges[eid]
+                            if v not in members:
+                                rewired.append(members)
+                    for z in (v, u, x):
+                        for eid in list(inc[z]):
+                            remove_edge(eid)
+                        del inc[z]
+                        del weights[z]
+                    weights[synthetic] = wu + wx - w
+                    inc[synthetic] = set()
+                    synthetics.append(synthetic)
+                    events.append(("fold2", (v, u, x), synthetic))
+                    offset_add(w)
+                    touched = {synthetic}
+                    for members in rewired:
+                        # {u, x, a} collapses to {synthetic, a}; sizes
+                        # stay 2..3 because no 2-edge {u, x} existed.
+                        new_members = (members - {u, x}) | {synthetic}
+                        add_edge(new_members)
+                        touched |= new_members
+                    mark(touched)
+                    continue
+
+            # Simplicial vertex: pair-neighbours pairwise joined by
+            # 2-edges (3-edges do not make two vertices exclusive).
+            if w >= max(weights[u] for u in neighbors):
+                ns = sorted(neighbors, key=_key)
+                is_clique = all(
+                    frozenset((a, b)) in live_keys
+                    for i, a in enumerate(ns)
+                    for b in ns[i + 1 :]
+                )
+                if is_clique:
+                    take_with_neighborhood(v, neighbors)
+                    continue
+
+            # Twins: pair-only, same pair-neighbourhood, not adjacent.
+            twin = None
+            probe = min(neighbors, key=_key)
+            candidates: set = set()
+            for eid in inc[probe]:
+                members = edges[eid]
+                if len(members) == 2:
+                    candidates |= members
+            candidates.discard(v)
+            candidates.discard(probe)
+            for u in sorted(candidates, key=_key):
+                if u in neighbors or not pair_only(u):
+                    continue
+                if pair_neighbors(u) == neighbors:
+                    twin = u
+                    break
+            if twin is not None:
+                events.append(("twin", twin, v))
+                weights[v] += weights[twin]
+                for eid in list(inc[twin]):
+                    remove_edge(eid)
+                del inc[twin]
+                del weights[twin]
+                mark({v} | neighbors)
+                continue
+
+        # Domination: v is only ever excluded here, so it may carry
+        # 3-edges; the dominating witness u must be pair-only.
+        closed = neighbors | {v}
+        dominated = False
+        for u in sorted(neighbors, key=_key):
+            if (
+                weights[u] >= w
+                and pair_only(u)
+                and pair_neighbors(u) <= closed
+            ):
+                dominated = True
+                break
+        if dominated:
+            mark(drop_vertex(v))
+
+    kernel_vertices = [v for v in hg.vertices if v in weights]
+    kernel_vertices += [s for s in synthetics if s in weights]
+    kernel = WeightedHypergraph(
+        vertices=kernel_vertices,
+        weights={v: weights[v] for v in kernel_vertices},
+        edges=[edges[eid] for eid in sorted(edges)],
+    )
+    return HyperReductionResult(
+        kernel=kernel, chosen=chosen, offset=offset, events=events
+    )

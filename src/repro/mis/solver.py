@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.mis.cache import get_mis_cache
 from repro.mis.exact import BudgetExceededError, solve_exact
 from repro.mis.graph import WeightedGraph
 from repro.mis.greedy import solve_greedy
@@ -25,10 +26,26 @@ Vertex = int
 
 @dataclass(frozen=True)
 class MISConfig:
-    """Tuning knobs for the MIS stage of CTCR."""
+    """Tuning knobs for the MIS stage of CTCR.
+
+    ``n_jobs`` fans independent conflict components out to a process
+    pool on the hypergraph path; ``use_cache`` replays components
+    already solved in this process (threshold sweeps re-solve
+    near-identical structures per δ). Neither changes results: all
+    combinations return byte-identical selections.
+
+    The two engines budget differently: ``node_budget`` is the graph
+    path's *shared* allowance across the whole instance, while
+    ``hyper_node_budget`` is *per connected component* on the
+    hypergraph path (required for serial/pooled parity) — and much
+    smaller, because the blocked-mask bound makes each node count.
+    """
 
     exact: bool = True
     node_budget: int = 500_000
+    hyper_node_budget: int = 50_000
+    n_jobs: int = 1
+    use_cache: bool = False
 
     def describe(self) -> str:
         return "exact" if self.exact else "greedy"
@@ -37,6 +54,11 @@ class MISConfig:
 def _to_graph(hg: WeightedHypergraph) -> WeightedGraph:
     graph = WeightedGraph(hg.vertices, hg.weights)
     for edge in hg.edges:
+        if len(edge) != 2:
+            raise ValueError(
+                "conflict graph path requires 2-edges only; got hyperedge "
+                f"{sorted(edge, key=repr)} of size {len(edge)}"
+            )
         a, b = tuple(edge)
         graph.add_edge(a, b)
     return graph
@@ -52,7 +74,11 @@ def solve_conflicts(
         has_triples = any(len(edge) == 3 for edge in hg.edges)
         if has_triples:
             return solve_hypergraph_mis(
-                hg, node_budget=config.node_budget, exact=config.exact
+                hg,
+                node_budget=config.hyper_node_budget,
+                exact=config.exact,
+                n_jobs=config.n_jobs,
+                cache=get_mis_cache() if config.use_cache else None,
             )
         graph = _to_graph(hg)
         if config.exact:

@@ -25,7 +25,9 @@ from typing import Mapping
 
 from repro.observability.tracer import NullTracer, Tracer
 
-SCHEMA_VERSION = 1
+# v2: ctcr.diag.mis_cache_{hits,misses} gauges and the mis.cache_* /
+# mis.kernel_removed counters from the kernelized MIS engine.
+SCHEMA_VERSION = 2
 
 try:  # pragma: no cover - resource is POSIX-only
     import resource

@@ -51,6 +51,16 @@ def chunked(seq: Sequence[T], n_chunks: int) -> list[list[T]]:
     return chunks
 
 
+def chunked_by_size(seq: Sequence[T], chunk_size: int) -> list[list[T]]:
+    """Split a sequence into contiguous chunks of ``chunk_size`` items."""
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    return [
+        list(seq[start : start + chunk_size])
+        for start in range(0, len(seq), chunk_size)
+    ]
+
+
 # -- tracing shims (module-level so they pickle into workers) --------------
 
 
@@ -84,6 +94,7 @@ def parallel_map(
     n_jobs: int = 1,
     initializer: Callable[..., None] | None = None,
     initargs: tuple = (),
+    chunk_size: int | None = None,
 ) -> list[R]:
     """Apply a chunk-level function over ``items``, preserving order.
 
@@ -96,13 +107,22 @@ def parallel_map(
     worker process (and is simply called inline when running serially).
     Large payloads — e.g. a packed bit matrix the chunks index into — ride
     along exactly once per worker instead of being re-pickled per chunk.
+
+    By default items split into ``n_jobs * 4`` even chunks — right for
+    homogeneous work. Pass ``chunk_size`` when item costs are wildly
+    uneven (e.g. MIS components sorted by size): ``chunk_size=1`` gives
+    every item its own pool task so one giant item cannot strand the
+    other workers behind it.
     """
     n_jobs = resolve_jobs(n_jobs)
     if n_jobs == 1 or len(items) <= 1:
         if initializer is not None:
             initializer(*initargs)
         return fn(list(items))
-    chunks = chunked(items, n_jobs * 4)
+    if chunk_size is not None:
+        chunks = chunked_by_size(items, chunk_size)
+    else:
+        chunks = chunked(items, n_jobs * 4)
     results: list[R] = []
     tracer = get_tracer()
     if tracer.enabled:

@@ -19,6 +19,7 @@ np = pytest.importorskip("numpy")
 
 from repro.algorithms import CCT, CTCR, CTCRConfig
 from repro.conflicts.two_conflicts import compute_pairwise
+from repro.mis import MISConfig, clear_mis_cache
 from repro.core import OCTInstance, Variant, make_instance, score_tree
 from repro.core.input_sets import InputSet
 from repro.io import tree_to_dict
@@ -156,6 +157,62 @@ class TestTreeEquivalence:
                 instance, variant, use_bitset=use_bitset, n_jobs=4
             )
             assert fanned == baseline
+
+
+class TestMISEngineEquivalence:
+    """The MIS engine's knobs must never change the tree.
+
+    Acceptance grid for the kernelized engine: every similarity variant
+    × {bitset, baseline} × {serial, pooled components} × cache on/off
+    returns an identical tree and score. The cache grid runs first with
+    a cold cache and again with a warm one, so replayed component
+    solutions are exercised, not just stored.
+    """
+
+    @pytest.mark.parametrize(
+        "variant", EQUIV_VARIANTS, ids=lambda v: str(v)
+    )
+    def test_cache_grid(self, variant):
+        clear_mis_cache()
+        instance = random_instance(37, n_sets=25)
+        base = build_fingerprint(instance, variant, use_bitset=True)
+        for use_bitset in (False, True):
+            for use_cache in (False, True):
+                got = build_fingerprint(
+                    instance,
+                    variant,
+                    use_bitset=use_bitset,
+                    mis=MISConfig(use_cache=use_cache),
+                )
+                assert got == base, (
+                    f"bitset={use_bitset} cache={use_cache}"
+                )
+        # Second pass hits the now-warm cache.
+        warm = build_fingerprint(
+            instance, variant, use_bitset=True, mis=MISConfig(use_cache=True)
+        )
+        assert warm == base
+        clear_mis_cache()
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize(
+        "variant",
+        [Variant.perfect_recall(0.5), Variant.threshold_jaccard(0.5)],
+        ids=lambda v: str(v),
+    )
+    def test_pooled_mis_grid(self, variant):
+        """--mis-jobs 4 with and without the cache matches serial."""
+        clear_mis_cache()
+        instance = random_instance(43, n_sets=35)
+        base = build_fingerprint(instance, variant, mis=MISConfig())
+        for use_cache in (False, True):
+            got = build_fingerprint(
+                instance,
+                variant,
+                mis=MISConfig(n_jobs=4, use_cache=use_cache),
+            )
+            assert got == base, f"n_jobs=4 cache={use_cache}"
+        clear_mis_cache()
 
 
 def ctcr_fingerprint_with_diag(instance, variant, **config):

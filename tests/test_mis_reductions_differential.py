@@ -1,0 +1,195 @@
+"""Randomized differential coverage for the graph MWIS reductions.
+
+The weighted reductions in :mod:`repro.mis.reductions` (degree-1/2
+folds, twins, simplicial, domination, neighbourhood removal) are
+individually easy to argue but interact: a fold can create a twin, a
+twin merge can make a vertex simplicial, a degree-2 fold introduces a
+synthetic vertex that later folds again. These suites pit
+``reduce + solve kernel + expand`` against brute force on graphs small
+enough (≤ 16 vertices) to enumerate every subset, across generators
+biased to trigger exactly those interactions.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.mis.exact import solve_exact
+from repro.mis.graph import WeightedGraph
+from repro.mis.reductions import expand_solution, reduce_graph
+
+# Weight pools biased toward ties: equal weights are what arm the twin,
+# simplicial, and domination rules.
+TIED_WEIGHTS = [1.0, 1.0, 1.0, 2.0, 2.0, 3.0]
+
+
+def brute_force_mwis(graph: WeightedGraph) -> float:
+    vs = graph.vertices()
+    assert len(vs) <= 16, "brute force capped at 16 vertices"
+    best = 0.0
+    for mask in range(1 << len(vs)):
+        selected = {vs[i] for i in range(len(vs)) if mask >> i & 1}
+        if graph.is_independent_set(selected):
+            best = max(best, graph.weight_of(selected))
+    return best
+
+
+def reduced_optimum(graph: WeightedGraph) -> tuple[set, float]:
+    """Solve via reduce → exact kernel solve → expand."""
+    result = reduce_graph(graph.copy())
+    kernel_solution = solve_exact(result.kernel)
+    solution = expand_solution(result, kernel_solution)
+    return solution, graph.weight_of(solution)
+
+
+def assert_matches_brute_force(graph: WeightedGraph, context: str) -> None:
+    expected = brute_force_mwis(graph)
+    solution, weight = reduced_optimum(graph)
+    assert graph.is_independent_set(solution), (
+        f"{context}: expanded solution is not independent: {sorted(solution)}"
+    )
+    assert weight == pytest.approx(expected), (
+        f"{context}: got {weight}, brute force says {expected}"
+    )
+
+
+# -- generators biased toward specific rule interactions -------------------
+
+
+def sparse_graph(rng: random.Random, n: int) -> WeightedGraph:
+    """Low density: pendants and short paths — degree-1/2 fold country."""
+    vs = list(range(n))
+    weights = {v: rng.choice(TIED_WEIGHTS) for v in vs}
+    g = WeightedGraph(vs, weights)
+    for a in vs:
+        for b in vs:
+            if a < b and rng.random() < 1.8 / max(n, 1):
+                g.add_edge(a, b)
+    return g
+
+
+def twin_heavy_graph(rng: random.Random, n: int) -> WeightedGraph:
+    """Planted duplicate neighbourhoods so twin merges actually fire."""
+    base = sparse_graph(rng, n)
+    vs = base.vertices()
+    for _ in range(3):
+        v = rng.choice(vs)
+        clone = max(vs) + 1
+        base.add_vertex(clone, rng.choice(TIED_WEIGHTS))
+        for u in list(base.neighbors(v)):
+            base.add_edge(clone, u)
+        vs.append(clone)
+        if len(vs) >= 16:
+            break
+    return base
+
+
+def clique_fringe_graph(rng: random.Random, n: int) -> WeightedGraph:
+    """Small cliques with pendant fringes — simplicial + fold interplay."""
+    vs = list(range(n))
+    weights = {v: rng.choice(TIED_WEIGHTS) for v in vs}
+    g = WeightedGraph(vs, weights)
+    i = 0
+    while i + 2 < n:
+        size = rng.choice([3, 3, 4])
+        clique = vs[i : i + size]
+        for a_idx, a in enumerate(clique):
+            for b in clique[a_idx + 1 :]:
+                g.add_edge(a, b)
+        i += size
+    # Fringe pendants hanging off clique members.
+    for v in vs[: n // 2]:
+        u = rng.choice(vs)
+        if u != v:
+            g.add_edge(v, u)
+    return g
+
+
+def path_cycle_graph(rng: random.Random, n: int) -> WeightedGraph:
+    """Paths and cycles: every interior vertex is a degree-2 fold seed."""
+    vs = list(range(n))
+    weights = {v: rng.choice(TIED_WEIGHTS) for v in vs}
+    g = WeightedGraph(vs, weights)
+    for a, b in zip(vs, vs[1:]):
+        g.add_edge(a, b)
+    if n > 2 and rng.random() < 0.5:
+        g.add_edge(vs[-1], vs[0])
+    # A couple of chords create domination / simplicial opportunities.
+    for _ in range(rng.randint(0, 2)):
+        a, b = rng.sample(vs, 2)
+        if a != b:
+            g.add_edge(a, b)
+    return g
+
+
+@pytest.mark.parametrize(
+    "generator",
+    [sparse_graph, twin_heavy_graph, clique_fringe_graph, path_cycle_graph],
+    ids=["sparse", "twins", "cliques", "paths"],
+)
+def test_reduced_solve_matches_brute_force(generator):
+    rng = random.Random(hash(generator.__name__) & 0xFFFF)
+    for trial in range(60):
+        n = rng.randint(2, 13)
+        graph = generator(rng, n)
+        assert_matches_brute_force(
+            graph, f"{generator.__name__} trial {trial}"
+        )
+
+
+def test_degree2_fold_then_twin_chain():
+    """A path of equal weights folds repeatedly; the synthetic vertices
+    must keep expanding back to a true optimum."""
+    n = 9
+    vs = list(range(n))
+    g = WeightedGraph(vs, {v: 1.0 for v in vs})
+    for a, b in zip(vs, vs[1:]):
+        g.add_edge(a, b)
+    result = reduce_graph(g.copy())
+    # The whole path reduces away — nothing left to branch on.
+    assert len(result.kernel) == 0
+    solution = expand_solution(result, set())
+    assert g.is_independent_set(solution)
+    assert g.weight_of(solution) == pytest.approx(5.0)  # ceil(9 / 2)
+
+
+def test_twin_of_simplicial_vertex():
+    """Two non-adjacent vertices sharing a clique neighbourhood: the twin
+    merge makes the survivor heavy enough to win the simplicial check."""
+    g = WeightedGraph(
+        ["t1", "t2", "a", "b"],
+        {"t1": 1.0, "t2": 1.0, "a": 1.5, "b": 1.5},
+    )
+    g.add_edge("a", "b")
+    for t in ("t1", "t2"):
+        g.add_edge(t, "a")
+        g.add_edge(t, "b")
+    assert_matches_brute_force(g, "twin-of-simplicial")
+
+
+def test_fold2_synthetic_participates_in_further_reductions():
+    """After a degree-2 fold the synthetic vertex is a pendant, so the
+    degree-1 fold must chain onto it."""
+    # u - v - x is the fold triple; u also hangs off r.
+    g = WeightedGraph(
+        ["u", "v", "x", "r"],
+        {"u": 2.0, "v": 2.0, "x": 2.0, "r": 1.0},
+    )
+    g.add_edge("u", "v")
+    g.add_edge("v", "x")
+    g.add_edge("u", "r")
+    assert_matches_brute_force(g, "fold2-chain")
+
+
+def test_expand_replays_events_in_reverse():
+    """Regression guard on event ordering: a fold whose anchor is later
+    absorbed by a twin merge only resolves correctly in reverse replay."""
+    rng = random.Random(20260806)
+    for trial in range(40):
+        g = twin_heavy_graph(rng, rng.randint(4, 11))
+        result = reduce_graph(g.copy())
+        kernel_solution = solve_exact(result.kernel)
+        solution = expand_solution(result, kernel_solution)
+        assert g.is_independent_set(solution), f"trial {trial}"
