@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.algorithms.assignment import assign_duplicates, assign_safe_items
 from repro.algorithms.base import BuildContext, TreeBuilder
+from repro.algorithms.cct_cache import get_embedding_cache
 from repro.algorithms.condense import (
     add_misc_category,
     remove_noncovered_items,
@@ -26,6 +27,7 @@ from repro.algorithms.condense import (
 )
 from repro.clustering.agglomerative import agglomerative_clustering
 from repro.clustering.dendrogram import Dendrogram
+from repro.core import bitset
 from repro.core.input_sets import OCTInstance
 from repro.core.similarity import raw_similarity_from_sizes
 from repro.core.tree import CategoryTree
@@ -43,14 +45,62 @@ class CCTConfig:
     # Ablation: replace the global-context embeddings with plain pairwise
     # dissimilarities (1 - S(q_i, q_j)) as the clustering distance.
     global_context: bool = True
+    # Embedding-engine knobs, mirroring CTCRConfig: use_bitset=None
+    # auto-selects the packed-bitset kernel by instance size, n_jobs
+    # fans the dense intersection pass over a process pool, use_cache
+    # replays intersection counts across builds (threshold sweeps).
+    use_bitset: bool | None = None
+    n_jobs: int = 1
+    use_cache: bool = False
+    # Clustering engine: "nn-chain" (default) or the "legacy" greedy
+    # global-minimum loop (see repro.clustering.agglomerative).
+    cluster_engine: str = "nn-chain"
 
 
-def set_embeddings(instance: OCTInstance, variant: Variant) -> np.ndarray:
+def set_embeddings(
+    instance: OCTInstance,
+    variant: Variant,
+    *,
+    use_bitset: bool | None = None,
+    n_jobs: int = 1,
+    use_cache: bool = False,
+) -> np.ndarray:
     """The n x n similarity embeddings of Section 4.
 
     Entry ``[j, i]`` is the raw similarity of sets ``j`` and ``i`` under
     the variant's base measure; for Perfect-Recall the paper uses the
-    average of precision and recall (which is symmetric across the pair).
+    average of precision and recall (which is symmetric across the pair):
+
+    >>> from repro.core import Variant, make_instance
+    >>> inst = make_instance([{"a", "b", "c"}, {"b", "c"}, {"x"}])
+    >>> m = set_embeddings(inst, Variant.threshold_jaccard(0.5))
+    >>> float(m[1, 0])            # row = set 1, column = set 0: |∩|/|∪|
+    0.6666666666666666
+    >>> bool(m[1, 0] == m[0, 1])  # raw similarity is symmetric
+    True
+    >>> float(m[2, 0])            # disjoint sets embed as 0
+    0.0
+
+    ``use_bitset`` selects the engine (``None`` auto-selects by instance
+    size via :func:`repro.core.bitset.should_use`); both produce
+    bit-identical matrices. ``n_jobs``/``use_cache`` only apply to the
+    kernel path.
+    """
+    if not bitset.should_use(len(instance), len(instance.universe), use_bitset):
+        return _set_embeddings_reference(instance, variant)
+    return _set_embeddings_bitset(
+        instance, variant, n_jobs=n_jobs, use_cache=use_cache
+    )
+
+
+def _set_embeddings_reference(
+    instance: OCTInstance, variant: Variant
+) -> np.ndarray:
+    """Pure-Python embedding loop: the differential oracle.
+
+    Kept verbatim as the semantic reference the kernel path is tested
+    against; only pairs that share items get a similarity entry, the
+    rest stay 0, and the diagonal is pinned to 1.
     """
     sets = instance.sets
     n = len(sets)
@@ -75,6 +125,59 @@ def set_embeddings(instance: OCTInstance, variant: Variant) -> np.ndarray:
     return matrix
 
 
+def _set_embeddings_bitset(
+    instance: OCTInstance,
+    variant: Variant,
+    *,
+    n_jobs: int = 1,
+    use_cache: bool = False,
+) -> np.ndarray:
+    """Packed-bitset embedding engine, bit-identical to the reference.
+
+    The expensive, variant-independent part — the pairwise intersection
+    counts — comes from the PR 1 kernel: the output-sensitive
+    ``intersecting_pairs`` enumeration when serial, or blocked popcount
+    rows fanned over ``utils.parallel`` when ``n_jobs != 1``. With
+    ``use_cache`` the sparse ``(ii, jj, counts)`` triple is replayed
+    across builds on the same instance (δ and even the similarity kind
+    only enter the cheap derivation below), which is what makes
+    Fig. 8g/8h-style threshold sweeps nearly free after the first point.
+    """
+    tracer = get_tracer()
+    entry = key = None
+    if use_cache:
+        cache = get_embedding_cache()
+        key = cache.key(instance)
+        entry = cache.get(key)
+        tracer.count("cct.cache_hits" if entry is not None else "cct.cache_misses")
+    if entry is None:
+        uni = bitset.BitsetUniverse.from_instance(instance)
+        if n_jobs != 1:
+            dense = uni.pairwise_intersections(n_jobs=n_jobs)
+            iu, ju = np.nonzero(np.triu(dense, k=1))
+            counts = dense[iu, ju]
+        else:
+            iu, ju, counts = uni.intersecting_pairs()
+        entry = (uni.n_sets, uni.sizes, iu, ju, counts)
+        if key is not None:
+            cache.put(key, entry)
+    n, sizes, iu, ju, counts = entry
+
+    # Derive the variant's similarity matrix from the counts. Only
+    # intersecting pairs get an entry (matching the reference loop);
+    # the vectorized closed forms mirror raw_similarity_from_sizes
+    # IEEE-op for IEEE-op, so entries are bit-identical.
+    matrix = np.zeros((n, n), dtype=np.float64)
+    if iu.size:
+        values = bitset.raw_similarity_from_size_arrays(
+            variant.kind, sizes[iu], sizes[ju], counts
+        )
+        matrix[iu, ju] = values
+        matrix[ju, iu] = values
+    np.fill_diagonal(matrix, 1.0)
+    return matrix
+
+
 class CCT(TreeBuilder):
     """Clustering-based category tree construction (Algorithm 3)."""
 
@@ -93,19 +196,27 @@ class CCT(TreeBuilder):
 
         with tracer.span("cct.build"):
             with tracer.span("cct.embeddings"):
-                similarities = set_embeddings(instance, variant)
+                similarities = set_embeddings(
+                    instance,
+                    variant,
+                    use_bitset=self.config.use_bitset,
+                    n_jobs=self.config.n_jobs,
+                    use_cache=self.config.use_cache,
+                )
             with tracer.span("cct.clustering"):
                 if self.config.global_context:
                     dendrogram = agglomerative_clustering(
                         similarities,
                         linkage=self.config.linkage,
                         metric=self.config.metric,
+                        engine=self.config.cluster_engine,
                     )
                 else:
                     dendrogram = agglomerative_clustering(
                         similarities,
                         linkage=self.config.linkage,
                         precomputed=1.0 - similarities,
+                        engine=self.config.cluster_engine,
                     )
             with tracer.span("cct.skeleton"):
                 self._skeleton_from_dendrogram(ctx, dendrogram)

@@ -1,0 +1,100 @@
+"""Cross-sweep memo cache for CCT's pairwise intersection counts.
+
+The Fig. 8g/8h-style threshold sweeps rebuild CCT over a δ grid on one
+instance. The variant's δ (and even its similarity kind) only enters the
+embedding *derivation* — the expensive part, packing the instance and
+counting all pairwise intersections, depends on the input sets alone.
+This cache therefore stores the pairwise intersection counts — in the
+kernel's sparse ``(n, sizes, ii, jj, counts)`` form — keyed on the
+instance's content, so every sweep point after the first replays the
+counts and pays only the cheap vectorized similarity derivation.
+
+Mirrors :mod:`repro.mis.cache` structurally: bounded FIFO eviction, a
+process-global instance behind :func:`get_embedding_cache`, and
+hit/miss counters that the CCT build surfaces as tracer counters
+(``cct.cache_hits`` / ``cct.cache_misses``).
+
+The key hashes, per input set in instance order, ``(sid, |items|,
+hash(items))``. ``frozenset`` hashes are content-derived and cached on
+the object, so the key costs O(n_sets) after the first build of an
+instance. They are only stable *within* a process (string hash
+randomization), which is exactly the cache's lifetime — entries are
+never serialized or shared across processes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+
+__all__ = [
+    "EmbeddingCache",
+    "get_embedding_cache",
+    "clear_embedding_cache",
+]
+
+
+class EmbeddingCache:
+    """Bounded FIFO cache: instance content key -> intersection counts.
+
+    Entries are ``(n_sets, sizes, ii, jj, counts)`` tuples; the arrays
+    are marked read-only before storage and handed back without
+    copying — callers derive similarity matrices from them but never
+    mutate them.
+    """
+
+    def __init__(self, max_entries: int = 32) -> None:
+        self.max_entries = max_entries
+        self._entries: OrderedDict[str, object] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @staticmethod
+    def key(instance) -> str:
+        """Content hash of the instance's sets, in instance order."""
+        canon = [
+            (q.sid, len(q.items), hash(q.items)) for q in instance.sets
+        ]
+        return hashlib.sha1(repr(("cct-inter-v1", canon)).encode()).hexdigest()
+
+    def get(self, key: str):
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def put(self, key: str, entry: tuple) -> None:
+        if key in self._entries:
+            return
+        for part in entry[1:]:
+            part.flags.writeable = False
+        self._entries[key] = entry
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+_GLOBAL_CACHE: EmbeddingCache | None = None
+
+
+def get_embedding_cache() -> EmbeddingCache:
+    """Process-global cache shared by every CCT build in this process."""
+    global _GLOBAL_CACHE
+    if _GLOBAL_CACHE is None:
+        _GLOBAL_CACHE = EmbeddingCache()
+    return _GLOBAL_CACHE
+
+
+def clear_embedding_cache() -> None:
+    """Reset the process-global cache (tests, benchmark baselines)."""
+    if _GLOBAL_CACHE is not None:
+        _GLOBAL_CACHE.clear()

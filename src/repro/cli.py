@@ -27,7 +27,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.algorithms import CCT, CTCR, CTCRConfig
+from repro.algorithms import CCT, CCTConfig, CTCR, CTCRConfig
 from repro.algorithms.base import TreeBuilder
 from repro.baselines import ExistingTree, ICQ, ICS
 from repro.catalog import DATASET_SPECS, load_dataset
@@ -114,11 +114,24 @@ def _ctcr_config(args) -> CTCRConfig:
     )
 
 
+def _cct_config(args) -> CCTConfig:
+    """CCT tuning from the common CLI flags (--jobs, --bitset, --cct-*)."""
+    use_bitset = {"auto": None, "on": True, "off": False}[
+        getattr(args, "bitset", "auto")
+    ]
+    return CCTConfig(
+        n_jobs=getattr(args, "jobs", 1),
+        use_bitset=use_bitset,
+        use_cache=getattr(args, "cct_cache", "on") == "on",
+        cluster_engine=getattr(args, "cct_cluster", "nn-chain"),
+    )
+
+
 def _builder(name: str, dataset, args=None) -> TreeBuilder:
     if name == "ctcr":
         return CTCR(_ctcr_config(args) if args is not None else None)
     if name == "cct":
-        return CCT()
+        return CCT(_cct_config(args) if args is not None else None)
     if dataset is None:
         raise SystemExit(f"algorithm {name!r} needs a synthetic dataset")
     if name == "ic-s":
@@ -265,15 +278,15 @@ def make_parser() -> argparse.ArgumentParser:
             "--jobs",
             type=_jobs_arg,
             default=1,
-            help="worker processes for CTCR's parallel stages "
-            "(-1 = all CPUs, default: 1)",
+            help="worker processes for the parallel stages of CTCR and "
+            "CCT's embedding pass (-1 = all CPUs, default: 1)",
         )
         p.add_argument(
             "--bitset",
             choices=["auto", "on", "off"],
             default="auto",
-            help="batched-intersection engine for CTCR: the packed "
-            "bitset kernel (on), plain set operations (off), or "
+            help="batched-intersection engine for CTCR and CCT: the "
+            "packed bitset kernel (on), plain set operations (off), or "
             "size-based auto-selection (default)",
         )
         p.add_argument(
@@ -291,6 +304,22 @@ def make_parser() -> argparse.ArgumentParser:
             help="memoize solved MIS components across builds in this "
             "process — threshold sweeps re-solve near-identical "
             "conflict structures per delta (default: on)",
+        )
+        p.add_argument(
+            "--cct-cache",
+            choices=["on", "off"],
+            default="on",
+            help="memoize CCT's pairwise intersection counts across "
+            "builds in this process — threshold sweeps re-derive "
+            "embeddings from cached counts per delta (default: on)",
+        )
+        p.add_argument(
+            "--cct-cluster",
+            choices=["nn-chain", "legacy"],
+            default="nn-chain",
+            help="CCT clustering engine: the nearest-neighbor-chain "
+            "algorithm (default) or the legacy greedy global-minimum "
+            "loop kept for equivalence testing",
         )
         p.add_argument(
             "--trace",

@@ -48,10 +48,31 @@ def pairwise_cosine(vectors: np.ndarray) -> np.ndarray:
     return dist
 
 
+# Registered metric names; distance_matrix dispatches through this table
+# and names the valid options when rejecting an unknown metric.
+_METRICS = {
+    "euclidean": pairwise_euclidean,
+    "cosine": pairwise_cosine,
+}
+
+
 def distance_matrix(vectors: np.ndarray, metric: str = "euclidean") -> np.ndarray:
-    """Dispatch on metric name ('euclidean' or 'cosine')."""
-    if metric == "euclidean":
-        return pairwise_euclidean(vectors)
-    if metric == "cosine":
-        return pairwise_cosine(vectors)
-    raise ValueError(f"unknown metric {metric!r}")
+    """Dispatch on metric name.
+
+    >>> float(distance_matrix(np.array([[0.0, 0.0], [3.0, 4.0]]))[0, 1])
+    5.0
+
+    Unknown metrics are rejected up front, naming the offender and the
+    registered alternatives:
+
+    >>> distance_matrix(np.zeros((2, 2)), metric="chebyshev")
+    Traceback (most recent call last):
+        ...
+    ValueError: unknown metric 'chebyshev'; expected one of ['cosine', 'euclidean']
+    """
+    compute = _METRICS.get(metric)
+    if compute is None:
+        raise ValueError(
+            f"unknown metric {metric!r}; expected one of {sorted(_METRICS)}"
+        )
+    return compute(vectors)

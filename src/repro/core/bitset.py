@@ -31,6 +31,7 @@ set-based paths (see :func:`should_use`).
 
 from __future__ import annotations
 
+from itertools import chain, count
 from typing import Iterable, Sequence
 
 try:  # pragma: no cover - exercised implicitly by every import
@@ -104,6 +105,60 @@ def should_use(
     return n_sets >= _AUTO_MIN_SETS and n_items >= _AUTO_MIN_ITEMS
 
 
+def raw_similarity_from_size_arrays(
+    kind: SimilarityKind,
+    q_size: "np.ndarray",
+    c_size: "np.ndarray",
+    inter: "np.ndarray",
+) -> "np.ndarray":
+    """Vectorized ``raw_similarity_from_sizes`` over aligned size arrays.
+
+    Elementwise (with broadcasting) over ``q_size``, ``c_size`` and
+    ``inter``. Each entry performs the *same* IEEE operations as the
+    scalar closed form in
+    :func:`repro.core.similarity.raw_similarity_from_sizes`, so results
+    are bit-identical to a pure-Python loop over the entries.
+    """
+    no_empty = bool(
+        (q_size.size == 0 or q_size.min() > 0)
+        and (c_size.size == 0 or c_size.min() > 0)
+    )
+    if kind is SimilarityKind.JACCARD:
+        union = q_size + c_size - inter
+        if no_empty:  # union >= max(q, c) > 0 everywhere
+            return inter / union
+        return np.where(union == 0, 1.0, inter / np.where(union == 0, 1, union))
+    if kind is SimilarityKind.F1:
+        denom = q_size + c_size
+        if no_empty:
+            return 2.0 * inter / denom
+        return np.where(
+            denom == 0, 1.0, 2.0 * inter / np.where(denom == 0, 1, denom)
+        )
+    # Perfect recall embeds as (precision + recall) / 2 (see
+    # repro.core.similarity.raw_similarity): empty C has precision 0,
+    # empty q has recall 1.
+    if no_empty:
+        return (inter / c_size + inter / q_size) / 2.0
+    prec = np.where(c_size == 0, 0.0, inter / np.where(c_size == 0, 1, c_size))
+    rec = np.where(q_size == 0, 1.0, inter / np.where(q_size == 0, 1, q_size))
+    return (prec + rec) / 2.0
+
+
+def raw_similarity_matrix(
+    kind: SimilarityKind, sizes: "np.ndarray", inter: "np.ndarray"
+) -> "np.ndarray":
+    """Dense ``raw_similarity_from_sizes`` matrix from a size vector.
+
+    ``sizes`` is the per-set cardinality vector and ``inter`` the dense
+    ``n x n`` intersection-size matrix (``inter[i, i] = sizes[i]``).
+    """
+    sizes = np.asarray(sizes, dtype=np.int64)
+    return raw_similarity_from_size_arrays(
+        kind, sizes[:, None], sizes[None, :], inter
+    )
+
+
 if np is not None and hasattr(np, "bitwise_count"):
 
     def _popcount(a: "np.ndarray") -> "np.ndarray":
@@ -167,25 +222,33 @@ class BitsetUniverse:
     ) -> None:
         if np is None:  # pragma: no cover - guarded by available()
             raise RuntimeError("BitsetUniverse requires numpy")
-        families = [frozenset(s) for s in sets]
+        families = [
+            s if isinstance(s, frozenset) else frozenset(s) for s in sets
+        ]
         if universe is None:
-            union: set = set()
+            union: "set | frozenset" = set()
             for s in families:
                 union |= s
+        elif isinstance(universe, (set, frozenset)):
+            union = universe
         else:
             union = set(universe)
         self.n_sets = len(families)
-        self.sizes = np.array([len(s) for s in families], dtype=np.int64)
-        flat = [item for s in families for item in s]
+        self.sizes = np.fromiter(
+            map(len, families), dtype=np.int64, count=self.n_sets
+        )
+        flat = list(chain.from_iterable(families))
 
         # Item -> code mapping. Integer universes are mapped wholesale
         # through a C-level sort + searchsorted; everything else (string
         # ids, mixed test universes) goes through a Python dict, which
         # benchmarks faster than numpy's string comparisons. Every public
-        # result is invariant to the code order either way.
+        # result is invariant to the code order either way. A one-element
+        # probe gates the array attempt so string universes skip the
+        # wasted ndarray round-trip entirely.
         cols = None
         items: tuple = ()
-        if union:
+        if union and isinstance(next(iter(union)), (int, np.integer)):
             try:
                 uni_arr = np.asarray(list(union))
                 if uni_arr.ndim == 1 and uni_arr.dtype.kind in "iu":
@@ -198,9 +261,11 @@ class BitsetUniverse:
                 cols = None
         if cols is None:
             items = tuple(union)
-            self._index = {item: code for code, item in enumerate(items)}
-            cols = np.array(
-                [self._index[item] for item in flat], dtype=np.int64
+            self._index = dict(zip(items, count()))
+            cols = np.fromiter(
+                map(self._index.__getitem__, flat),
+                dtype=np.int64,
+                count=len(flat),
             )
         else:
             self._index = None  # built lazily by .index when packing
@@ -218,9 +283,7 @@ class BitsetUniverse:
     def index(self) -> dict:
         """Item -> column-code mapping (lazy; only packing needs it)."""
         if self._index is None:
-            self._index = {
-                item: code for code, item in enumerate(self.items)
-            }
+            self._index = dict(zip(self.items, count()))
         return self._index
 
     # -- constructors ------------------------------------------------------

@@ -27,7 +27,8 @@ from repro.observability.tracer import NullTracer, Tracer
 
 # v2: ctcr.diag.mis_cache_{hits,misses} gauges and the mis.cache_* /
 # mis.kernel_removed counters from the kernelized MIS engine.
-SCHEMA_VERSION = 2
+# v3: cct.cache_{hits,misses} counters from CCT's embedding cache.
+SCHEMA_VERSION = 3
 
 try:  # pragma: no cover - resource is POSIX-only
     import resource

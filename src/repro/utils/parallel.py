@@ -4,7 +4,10 @@ The paper notes that CTCR is highly parallelizable: all 2-conflicts are
 computed in parallel, as are per-category cover scores in the item
 assignment phase. :func:`parallel_map` is the single switch point — with
 ``n_jobs=1`` (the default) everything runs serially and deterministically,
-while ``n_jobs>1`` fans chunks out to a process pool.
+while ``n_jobs>1`` fans chunks out to a process pool. Current consumers:
+CTCR's pairwise classification, the per-component hypergraph MIS solves
+(``--mis-jobs``), and the blocked popcount rows behind CCT's pooled
+embedding pass (``BitsetUniverse.pairwise_intersections``).
 
 Tracing (:mod:`repro.observability`) survives the pool: when the parent
 has an enabled tracer, each worker is given a fresh tracer through the

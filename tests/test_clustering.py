@@ -44,7 +44,11 @@ class TestDistances:
         assert math.isclose(d[0, 1], 1.0)  # zero far from nonzero
 
     def test_unknown_metric(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(
+            ValueError,
+            match=r"unknown metric 'chebyshev'; expected one of "
+            r"\['cosine', 'euclidean'\]",
+        ):
             distance_matrix(np.zeros((2, 2)), "chebyshev")
 
 
@@ -105,6 +109,10 @@ class TestAgglomerative:
         with pytest.raises(ValueError):
             agglomerative_clustering(np.zeros((2, 2)), linkage="ward")
 
+    def test_bad_engine(self):
+        with pytest.raises(ValueError, match="engine"):
+            agglomerative_clustering(np.zeros((2, 2)), engine="heap")
+
     def test_empty_input(self):
         with pytest.raises(ValueError):
             agglomerative_clustering(np.zeros((0, 2)))
@@ -134,10 +142,73 @@ class TestAgglomerative:
         )
     )
     def test_structural_invariants(self, x):
+        for engine in ("nn-chain", "legacy"):
+            d = agglomerative_clustering(x, engine=engine)
+            n = x.shape[0]
+            assert len(d.merges) == n - 1
+            # Every node id is used exactly once as a merge operand
+            # except the root.
+            used = [m.left for m in d.merges] + [m.right for m in d.merges]
+            assert sorted(used + [d.root_id]) == list(range(2 * n - 1))
+
+
+def _leaf_sets(d):
+    """The merge topology as a sorted list of leaf index tuples."""
+    return sorted(tuple(d.leaves_under(m.node_id)) for m in d.merges)
+
+
+class TestNNChainEngine:
+    """The NN-chain engine against the legacy greedy oracle and scipy.
+
+    The engines visit merges in different orders, so Lance–Williams
+    averages accumulate differently: topologies must match exactly on
+    tie-free inputs, heights only to floating-point tolerance.
+    """
+
+    @pytest.mark.parametrize("linkage", ["average", "single", "complete"])
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_matches_legacy_engine(self, linkage, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(30, 4))
+        chain = agglomerative_clustering(x, linkage=linkage)
+        greedy = agglomerative_clustering(x, linkage=linkage, engine="legacy")
+        assert _leaf_sets(chain) == _leaf_sets(greedy)
+        assert np.allclose(
+            [m.height for m in chain.merges],
+            [m.height for m in greedy.merges],
+            atol=1e-9,
+        )
+
+    @pytest.mark.parametrize("linkage", ["average", "single", "complete"])
+    def test_matches_scipy_topology_and_heights(self, linkage):
+        scipy_hier = pytest.importorskip("scipy.cluster.hierarchy")
+        rng = np.random.default_rng(11)
+        x = rng.normal(size=(25, 3))
+        ours = agglomerative_clustering(x, linkage=linkage)
+        theirs = scipy_hier.linkage(x, method=linkage, metric="euclidean")
+        assert np.allclose(
+            [m.height for m in ours.merges], theirs[:, 2], atol=1e-8
+        )
+        sets = {i: (i,) for i in range(25)}
+        scipy_leafsets = []
+        for t, (a, b, _h, _size) in enumerate(theirs):
+            merged = tuple(sorted(sets[int(a)] + sets[int(b)]))
+            sets[25 + t] = merged
+            scipy_leafsets.append(merged)
+        assert _leaf_sets(ours) == sorted(scipy_leafsets)
+
+    def test_heights_nondecreasing(self):
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=(40, 6))
         d = agglomerative_clustering(x)
-        n = x.shape[0]
-        assert len(d.merges) == n - 1
-        # Every node id is used exactly once as a merge operand except
-        # the root.
-        used = [m.left for m in d.merges] + [m.right for m in d.merges]
-        assert sorted(used + [d.root_id]) == list(range(2 * n - 1))
+        heights = [m.height for m in d.merges]
+        assert all(b >= a for a, b in zip(heights, heights[1:]))
+
+    def test_tied_chain_terminates_deterministically(self):
+        # Equidistant collinear points: every nearest-neighbor link is
+        # tied; the chain must not oscillate and the result is the
+        # left-leaning dendrogram.
+        x = np.arange(8, dtype=np.float64)[:, None]
+        d = agglomerative_clustering(x, linkage="single")
+        assert len(d.merges) == 7
+        assert d.leaves_under(d.root_id) == list(range(8))

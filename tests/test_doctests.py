@@ -4,12 +4,18 @@ import doctest
 
 import pytest
 
+import repro.algorithms.cct
+import repro.clustering.agglomerative
+import repro.clustering.distance
 import repro.core.input_sets
 import repro.core.similarity
 import repro.search.analyzer
 import repro.utils.timer
 
 MODULES = [
+    repro.algorithms.cct,
+    repro.clustering.agglomerative,
+    repro.clustering.distance,
     repro.core.input_sets,
     repro.core.similarity,
     repro.search.analyzer,
