@@ -11,6 +11,9 @@ Commands:
 * ``preprocess`` — run the Section 5.1 pipeline on a synthetic dataset
                   and export the resulting OCT instance as JSON.
 * ``trends``    — report trending and fading queries in a dataset's log.
+* ``serve``     — run the snapshot-based HTTP serving layer (build or
+                  load a snapshot, answer categorize/browse/search
+                  queries, hot-swap on demand).
 * ``oct``       — alias for ``build`` (the paper's name for the problem).
 
 Variants are spelled ``threshold-jaccard:0.8``, ``cutoff-f1:0.7``,
@@ -230,6 +233,70 @@ def cmd_preprocess(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Serve a category tree over HTTP (snapshot-backed, hot-swappable)."""
+    from repro.labeling import apply_label_suggestions, suggest_labels
+    from repro.serving import ServingEngine, SnapshotStore, make_server
+
+    store = SnapshotStore(args.snapshot_dir) if args.snapshot_dir else None
+    use_bitset = {"auto": None, "on": True, "off": False}[args.bitset]
+
+    if store is not None and store.current_id() is not None:
+        loaded = store.load()
+        print(
+            f"loaded snapshot {loaded.info.snapshot_id} "
+            f"(variant {loaded.info.variant}, score {loaded.info.score:.4f})"
+        )
+        engine = ServingEngine.from_snapshot(
+            loaded, cache_size=args.cache_size, use_bitset=use_bitset
+        )
+    else:
+        instance, dataset, variant = _load(args)
+        builder = _builder(args.algorithm, dataset, args)
+        tree = builder.build(instance, variant)
+        apply_label_suggestions(tree, suggest_labels(tree, instance, variant))
+        if store is not None:
+            info = store.save(tree, instance, variant)
+            print(f"built and saved snapshot {info.snapshot_id}")
+            engine = ServingEngine.from_snapshot(
+                store.load(info.snapshot_id),
+                cache_size=args.cache_size, use_bitset=use_bitset,
+            )
+        else:
+            engine = ServingEngine.from_tree(
+                tree, instance, variant,
+                cache_size=args.cache_size, use_bitset=use_bitset,
+            )
+    server = make_server(
+        engine, host=args.host, port=args.port,
+        store=store, max_requests=args.max_requests,
+    )
+    return _serve_loop(server, engine)
+
+
+def _serve_loop(server, engine) -> int:
+    """Announce the bound address and serve until shutdown/interrupt."""
+    host, port = server.server_address[:2]
+    print(
+        f"serving on http://{host}:{port} "
+        f"(generation {engine.generation}, snapshot "
+        f"{engine.current.snapshot_id or '<in-memory>'})",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        pass
+    finally:
+        server.server_close()
+    stats = engine.stats()
+    print(
+        f"served {stats['requests']} requests "
+        f"(cache hit rate {stats['cache']['hit_rate']:.2f})"
+    )
+    return 0
+
+
 def cmd_trends(args) -> int:
     dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
     trending = detect_trending_queries(dataset.query_log, window=args.window)
@@ -384,6 +451,41 @@ def make_parser() -> argparse.ArgumentParser:
     add_common(p_trends)
     p_trends.add_argument("--window", type=int, default=14)
     p_trends.set_defaults(func=cmd_trends)
+
+    p_serve = sub.add_parser(
+        "serve", help="serve a tree over HTTP (snapshots + hot swap)"
+    )
+    add_common(p_serve)
+    p_serve.add_argument(
+        "--algorithm",
+        choices=["ctcr", "cct", "ic-s", "ic-q", "et"],
+        default="ctcr",
+        help="builder used when no stored snapshot exists yet",
+    )
+    p_serve.add_argument(
+        "--snapshot-dir",
+        metavar="PATH",
+        help="snapshot store directory: serve its CURRENT snapshot when "
+        "one exists, otherwise build from the dataset/instance flags and "
+        "save the result there (omit to serve a one-off in-memory build)",
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: loopback)"
+    )
+    p_serve.add_argument(
+        "--port", type=int, default=8077,
+        help="TCP port (0 picks a free port; default: 8077)",
+    )
+    p_serve.add_argument(
+        "--cache-size", type=int, default=4096,
+        help="LRU result-cache capacity in entries (0 disables caching)",
+    )
+    p_serve.add_argument(
+        "--max-requests", type=int, default=None, metavar="N",
+        help="shut down after N requests (smoke tests and CI; "
+        "default: serve forever)",
+    )
+    p_serve.set_defaults(func=cmd_serve)
 
     return parser
 

@@ -1,4 +1,4 @@
-"""Embeddings: hashed TF-IDF titles and set-membership signatures."""
+"""Embeddings: hashed TF-IDF titles, set signatures, sparse-vector math."""
 
 from repro.embeddings.membership import (
     SignatureGroups,
@@ -6,9 +6,12 @@ from repro.embeddings.membership import (
     signature_vectors,
 )
 from repro.embeddings.text import tfidf_vectors, title_embeddings
+from repro.embeddings.vectors import centroid, cosine
 
 __all__ = [
     "SignatureGroups",
+    "centroid",
+    "cosine",
     "membership_groups",
     "signature_vectors",
     "tfidf_vectors",

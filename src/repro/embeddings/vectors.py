@@ -1,0 +1,35 @@
+"""Sparse-vector arithmetic shared by the embedding consumers.
+
+Embeddings in this package are sparse token->weight dicts (see
+:func:`repro.embeddings.text.tfidf_vectors`). The maintenance tools
+(outlier detection, item classification) both reduce member vectors to a
+category centroid and compare candidates by cosine similarity; those two
+primitives live here so every consumer measures "semantic closeness" the
+same way.
+"""
+
+from __future__ import annotations
+
+
+def centroid(vectors: list[dict[str, float]]) -> dict[str, float]:
+    """The component-wise mean of sparse vectors (``{}`` for no vectors)."""
+    if not vectors:
+        return {}
+    total: dict[str, float] = {}
+    for vec in vectors:
+        for token, value in vec.items():
+            total[token] = total.get(token, 0.0) + value
+    n = len(vectors)
+    return {token: value / n for token, value in total.items()}
+
+
+def cosine(a: dict[str, float], b: dict[str, float]) -> float:
+    """Cosine similarity of sparse vectors (0.0 when either is zero)."""
+    if len(b) < len(a):
+        a, b = b, a
+    dot = sum(value * b.get(token, 0.0) for token, value in a.items())
+    norm_a = sum(v * v for v in a.values()) ** 0.5
+    norm_b = sum(v * v for v in b.values()) ** 0.5
+    if norm_a == 0 or norm_b == 0:
+        return 0.0
+    return dot / (norm_a * norm_b)

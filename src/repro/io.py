@@ -23,6 +23,23 @@ class SerializationError(ReproError):
     """Raised on malformed serialized payloads."""
 
 
+def _check_version(payload: dict[str, Any], kind: str) -> None:
+    """Reject payloads this reader cannot faithfully interpret.
+
+    A payload *newer* than :data:`FORMAT_VERSION` gets a distinct
+    message naming both versions: the data is fine, the reader is old.
+    """
+    version = payload.get("version")
+    if version == FORMAT_VERSION:
+        return
+    if isinstance(version, int) and version > FORMAT_VERSION:
+        raise SerializationError(
+            f"{kind} format version {version} is newer than this reader's "
+            f"supported version {FORMAT_VERSION}; upgrade repro to read it"
+        )
+    raise SerializationError(f"unsupported {kind} format version {version!r}")
+
+
 # -- trees ------------------------------------------------------------------
 
 
@@ -43,10 +60,7 @@ def tree_to_dict(tree: CategoryTree) -> dict[str, Any]:
 
 def tree_from_dict(payload: dict[str, Any]) -> CategoryTree:
     """Rebuild a tree serialized by :func:`tree_to_dict`."""
-    if payload.get("version") != FORMAT_VERSION:
-        raise SerializationError(
-            f"unsupported tree format version {payload.get('version')!r}"
-        )
+    _check_version(payload, "tree")
     root_payload = payload.get("root")
     if not isinstance(root_payload, dict):
         raise SerializationError("missing root node")
@@ -115,10 +129,7 @@ def instance_from_dict(payload: dict[str, Any]) -> OCTInstance:
     Note: per-item bounds are keyed by ``str(item)``, so non-string item
     types round-trip their bounds only when their string form is unique.
     """
-    if payload.get("version") != FORMAT_VERSION:
-        raise SerializationError(
-            f"unsupported instance format version {payload.get('version')!r}"
-        )
+    _check_version(payload, "instance")
     sets = [
         InputSet(
             sid=entry["sid"],

@@ -13,7 +13,7 @@ from typing import Hashable
 
 from repro.core.tree import CategoryTree
 from repro.embeddings.text import tfidf_vectors
-from repro.maintenance.outliers import _centroid, _cosine
+from repro.embeddings.vectors import centroid, cosine
 
 Item = Hashable
 
@@ -56,14 +56,14 @@ def classify_new_items(
     for cat in leaf_candidates:
         members = [vec_of[i] for i in cat.items if i in vec_of]
         if members:
-            centroids[cat.cid] = (cat, _centroid(members))
+            centroids[cat.cid] = (cat, centroid(members))
 
     placements = []
     for item in new_items:
         vec = new_vec_of[item]
         best_sim, best_cat = -1.0, None
-        for cat, centroid in centroids.values():
-            sim = _cosine(vec, centroid)
+        for cat, center in centroids.values():
+            sim = cosine(vec, center)
             if sim > best_sim:
                 best_sim, best_cat = sim, cat
         if best_cat is not None:

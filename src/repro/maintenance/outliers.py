@@ -15,8 +15,14 @@ from typing import Hashable
 
 from repro.core.tree import CategoryTree
 from repro.embeddings.text import tfidf_vectors
+from repro.embeddings.vectors import centroid, cosine
 
 Item = Hashable
+
+# Back-compat aliases: these helpers started here before being promoted
+# to repro.embeddings.vectors.
+_centroid = centroid
+_cosine = cosine
 
 
 @dataclass(frozen=True)
@@ -28,26 +34,6 @@ class OutlierReport:
     item: Item
     similarity_to_centroid: float
     category_average: float
-
-
-def _centroid(vectors: list[dict[str, float]]) -> dict[str, float]:
-    total: dict[str, float] = {}
-    for vec in vectors:
-        for token, value in vec.items():
-            total[token] = total.get(token, 0.0) + value
-    n = len(vectors)
-    return {token: value / n for token, value in total.items()}
-
-
-def _cosine(a: dict[str, float], b: dict[str, float]) -> float:
-    if len(b) < len(a):
-        a, b = b, a
-    dot = sum(value * b.get(token, 0.0) for token, value in a.items())
-    norm_a = sum(v * v for v in a.values()) ** 0.5
-    norm_b = sum(v * v for v in b.values()) ** 0.5
-    if norm_a == 0 or norm_b == 0:
-        return 0.0
-    return dot / (norm_a * norm_b)
 
 
 def detect_misassigned_items(
@@ -73,8 +59,8 @@ def detect_misassigned_items(
         members = [item for item in cat.items if item in vec_of]
         if len(members) < min_category_size:
             continue
-        centroid = _centroid([vec_of[item] for item in members])
-        sims = {item: _cosine(vec_of[item], centroid) for item in members}
+        center = centroid([vec_of[item] for item in members])
+        sims = {item: cosine(vec_of[item], center) for item in members}
         average = sum(sims.values()) / len(sims)
         if average <= 0:
             continue

@@ -1,0 +1,74 @@
+"""Serving: snapshot-based query serving over built category trees.
+
+The offline pipeline (CTCR/CCT) *builds* trees; this subsystem *serves*
+them: versioned on-disk snapshots (:mod:`repro.serving.snapshot`),
+read-optimized per-snapshot indexes (:mod:`repro.serving.indexes`), a
+thread-safe query engine with an LRU result cache
+(:mod:`repro.serving.engine`), atomic hot swaps of rebuilt trees
+(:mod:`repro.serving.hotswap`), a zero-dependency HTTP/JSON frontend
+(:mod:`repro.serving.http`, CLI: ``python -m repro serve``), and a
+deterministic closed-loop load generator
+(:mod:`repro.serving.loadgen`, benchmark: ``benchmarks/bench_serving.py``).
+
+Quickstart::
+
+    from repro.serving import ServingEngine, SnapshotStore
+
+    store = SnapshotStore("snapshots/")
+    store.save(tree, instance, variant)           # content-addressed
+    engine = ServingEngine.from_snapshot(store.load())
+    engine.best_category({"p1", "p2"})            # scored best category
+    engine.categorize_item("p1")                  # branch placements
+    engine.browse()                               # root navigation page
+"""
+
+from repro.serving.engine import (
+    Generation,
+    ServingEngine,
+    ServingError,
+    prepare_generation,
+)
+from repro.serving.hotswap import HotSwapper
+from repro.serving.http import ServingHTTPServer, make_server, serve_in_background
+from repro.serving.indexes import BestCategory, SnapshotIndexes
+from repro.serving.loadgen import (
+    DEFAULT_MIX,
+    LoadGenResult,
+    Request,
+    build_workload,
+    run_loadgen,
+)
+from repro.serving.snapshot import (
+    SNAPSHOT_FORMAT_VERSION,
+    LoadedSnapshot,
+    SnapshotError,
+    SnapshotInfo,
+    SnapshotStore,
+    variant_from_spec,
+    variant_spec,
+)
+
+__all__ = [
+    "BestCategory",
+    "DEFAULT_MIX",
+    "Generation",
+    "HotSwapper",
+    "LoadGenResult",
+    "LoadedSnapshot",
+    "Request",
+    "SNAPSHOT_FORMAT_VERSION",
+    "ServingEngine",
+    "ServingError",
+    "ServingHTTPServer",
+    "SnapshotError",
+    "SnapshotIndexes",
+    "SnapshotInfo",
+    "SnapshotStore",
+    "build_workload",
+    "make_server",
+    "prepare_generation",
+    "run_loadgen",
+    "serve_in_background",
+    "variant_from_spec",
+    "variant_spec",
+]

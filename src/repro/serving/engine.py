@@ -1,0 +1,407 @@
+"""The thread-safe category-tree serving engine.
+
+A :class:`ServingEngine` answers navigation and categorization queries
+against one *generation* — an immutable bundle of (tree, instance,
+variant, :class:`~repro.serving.indexes.SnapshotIndexes`). Requests read
+the current generation through a single attribute load (atomic under the
+GIL), so readers never block each other and never see a half-installed
+tree; :meth:`ServingEngine.publish` installs a fully prepared generation
+with one reference flip (see :mod:`repro.serving.hotswap` for the swap
+choreography). In-flight requests keep using the generation they
+started on.
+
+Read results are memoized in an LRU cache keyed by (generation, op,
+args), so a swap invalidates logically without a stop-the-world flush:
+new-generation keys miss, old-generation entries age out. Per-request
+latency and cache counters go both to the engine's local stats (exposed
+by :meth:`stats` and the ``/stats`` HTTP endpoint) and to the PR 2
+tracer (``serving.*`` counters) when tracing is enabled.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable
+
+from repro.core.exceptions import ReproError
+from repro.core.input_sets import OCTInstance
+from repro.core.tree import CategoryTree
+from repro.core.variants import Variant
+from repro.observability import get_tracer
+from repro.serving.indexes import BestCategory, SnapshotIndexes
+from repro.serving.snapshot import LoadedSnapshot
+
+Item = Hashable
+
+
+class ServingError(ReproError):
+    """Raised on serving-layer misuse (e.g. querying before publish)."""
+
+
+@dataclass
+class Generation:
+    """One immutable, queryable build of the category tree.
+
+    ``number`` is assigned by :meth:`ServingEngine.publish` (monotonic,
+    starting at 1); before publication it is 0.
+    """
+
+    tree: CategoryTree
+    instance: OCTInstance
+    variant: Variant
+    indexes: SnapshotIndexes
+    snapshot_id: str = ""
+    number: int = 0
+    published_at: float = 0.0
+
+
+def prepare_generation(
+    tree: CategoryTree,
+    instance: OCTInstance,
+    variant: Variant,
+    snapshot_id: str = "",
+    use_bitset: bool | None = None,
+) -> Generation:
+    """Build the read-side indexes for a tree (expensive; off-path).
+
+    This is the slow half of a hot swap — run it in the background (or
+    before serving starts) and hand the result to
+    :meth:`ServingEngine.publish`.
+    """
+    tracer = get_tracer()
+    with tracer.span("serving.prepare"):
+        indexes = SnapshotIndexes(
+            tree, instance, variant, use_bitset=use_bitset
+        )
+    return Generation(
+        tree=tree,
+        instance=instance,
+        variant=variant,
+        indexes=indexes,
+        snapshot_id=snapshot_id,
+    )
+
+
+class _LRUCache:
+    """A tiny thread-safe LRU with hit/miss counters; size 0 disables."""
+
+    def __init__(self, maxsize: int) -> None:
+        self.maxsize = max(0, int(maxsize))
+        self._data: OrderedDict = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key) -> tuple[bool, object]:
+        with self._lock:
+            try:
+                value = self._data[key]
+            except KeyError:
+                self.misses += 1
+                return False, None
+            self._data.move_to_end(key)
+            self.hits += 1
+            return True, value
+
+    def put(self, key, value) -> None:
+        if self.maxsize == 0:
+            return
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+@dataclass
+class _OpStats:
+    requests: int = 0
+    errors: int = 0
+    wall_s: float = 0.0
+
+
+class ServingEngine:
+    """Concurrent query interface over hot-swappable tree generations."""
+
+    def __init__(
+        self, cache_size: int = 4096, latency_window: int = 65536
+    ) -> None:
+        self._gen: Generation | None = None
+        self._publish_lock = threading.Lock()
+        self._generation_counter = 0
+        self._cache = _LRUCache(cache_size)
+        self._op_stats: dict[str, _OpStats] = {}
+        self._stats_lock = threading.Lock()
+        # deque.append is atomic; percentile readers copy a snapshot.
+        self._latencies: deque[float] = deque(maxlen=latency_window)
+
+    # -- construction / swapping -------------------------------------------
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        loaded: LoadedSnapshot,
+        cache_size: int = 4096,
+        use_bitset: bool | None = None,
+    ) -> "ServingEngine":
+        """An engine serving one loaded snapshot (generation 1)."""
+        engine = cls(cache_size=cache_size)
+        engine.publish(
+            prepare_generation(
+                loaded.tree,
+                loaded.instance,
+                loaded.variant,
+                snapshot_id=loaded.info.snapshot_id,
+                use_bitset=use_bitset,
+            )
+        )
+        return engine
+
+    @classmethod
+    def from_tree(
+        cls,
+        tree: CategoryTree,
+        instance: OCTInstance,
+        variant: Variant,
+        cache_size: int = 4096,
+        use_bitset: bool | None = None,
+    ) -> "ServingEngine":
+        """An engine serving an in-memory tree (no snapshot store)."""
+        engine = cls(cache_size=cache_size)
+        engine.publish(
+            prepare_generation(tree, instance, variant, use_bitset=use_bitset)
+        )
+        return engine
+
+    def publish(self, generation: Generation) -> Generation:
+        """Atomically make a prepared generation the serving one.
+
+        The only mutation readers can observe is the single ``_gen``
+        reference flip: requests that already grabbed the old generation
+        finish on it untouched, new requests see the new tree. Returns
+        the generation with its number assigned.
+        """
+        with self._publish_lock:
+            self._generation_counter += 1
+            generation.number = self._generation_counter
+            generation.published_at = time.time()
+            self._gen = generation  # the atomic flip
+        tracer = get_tracer()
+        tracer.count("serving.swaps")
+        tracer.gauge("serving.generation", generation.number)
+        return generation
+
+    @property
+    def generation(self) -> int:
+        """The serving generation number (0 before the first publish)."""
+        gen = self._gen
+        return gen.number if gen is not None else 0
+
+    @property
+    def current(self) -> Generation:
+        """The serving generation; raises before the first publish."""
+        gen = self._gen
+        if gen is None:
+            raise ServingError("no generation published yet")
+        return gen
+
+    # -- the request path ---------------------------------------------------
+
+    def _serve(self, op: str, key, compute):
+        """One request: resolve generation, consult cache, record stats."""
+        t0 = time.perf_counter()
+        gen = self._gen  # one atomic read; the whole request uses it
+        if gen is None:
+            raise ServingError("no generation published yet")
+        tracer = get_tracer()
+        error = False
+        try:
+            if key is None:
+                value = compute(gen)
+            else:
+                full_key = (gen.number, op, key)
+                hit, value = self._cache.get(full_key)
+                if hit:
+                    tracer.count("serving.cache_hits")
+                else:
+                    tracer.count("serving.cache_misses")
+                    value = compute(gen)
+                    self._cache.put(full_key, value)
+            return value
+        except Exception:
+            error = True
+            raise
+        finally:
+            wall = time.perf_counter() - t0
+            self._latencies.append(wall)
+            with self._stats_lock:
+                stats = self._op_stats.setdefault(op, _OpStats())
+                stats.requests += 1
+                stats.wall_s += wall
+                if error:
+                    stats.errors += 1
+            tracer.count("serving.requests")
+            tracer.count(f"serving.op.{op}")
+            tracer.count("serving.latency_us", int(wall * 1e6))
+
+    # -- read operations ----------------------------------------------------
+
+    def categorize_item(self, item: Item) -> list[dict]:
+        """The item's branch placements: its most-specific categories.
+
+        Each placement carries the cid, label, and the root-to-category
+        label path. Unknown items yield an empty list.
+        """
+
+        def compute(gen: Generation) -> list[dict]:
+            ix = gen.indexes
+            return [
+                {
+                    "cid": cid,
+                    "label": ix.label_of(cid),
+                    "path": [ix.label_of(p) for p in ix.path_to_root(cid)],
+                }
+                for cid in ix.placements(item)
+            ]
+
+        return self._serve("categorize", item, compute)
+
+    def best_category(
+        self,
+        items: Iterable[Item],
+        variant: Variant | None = None,
+        delta: float | None = None,
+    ) -> BestCategory | None:
+        """The best-scoring category for a query result set.
+
+        ``variant`` defaults to the snapshot's build variant; ``delta``
+        overrides its threshold (the per-set-thresholds extension).
+        Returns None when the query is not covered.
+        """
+        q = items if isinstance(items, frozenset) else frozenset(items)
+        key = (q, variant, delta)
+
+        def compute(gen: Generation) -> BestCategory | None:
+            return gen.indexes.best_category(q, variant=variant, delta=delta)
+
+        return self._serve("best_category", key, compute)
+
+    def browse(self, cid: int | None = None) -> dict:
+        """One navigation page: a category, its path, and its children.
+
+        ``cid=None`` browses the root. Raises ``KeyError`` for unknown
+        cids (the HTTP layer maps that to 404).
+        """
+
+        def compute(gen: Generation) -> dict:
+            ix = gen.indexes
+            target = ix.root_cid if cid is None else cid
+            cat = ix.category(target)
+            return {
+                "cid": cat.cid,
+                "label": ix.label_of(cat.cid),
+                "n_items": ix.sizes[cat.cid],
+                "depth": ix.depths[cat.cid],
+                "path": [
+                    {"cid": p, "label": ix.label_of(p)}
+                    for p in ix.path_to_root(cat.cid)
+                ],
+                "children": [
+                    {
+                        "cid": child,
+                        "label": ix.label_of(child),
+                        "n_items": ix.sizes[child],
+                        "n_children": len(ix.children_of[child]),
+                    }
+                    for child in ix.children_of[cat.cid]
+                ],
+            }
+
+        return self._serve("browse", "root" if cid is None else cid, compute)
+
+    def path_to_root(self, cid: int) -> list[dict]:
+        """Root-to-category breadcrumb for a cid (raises on unknown)."""
+
+        def compute(gen: Generation) -> list[dict]:
+            ix = gen.indexes
+            ix.category(cid)  # raise KeyError before caching anything
+            return [
+                {"cid": p, "label": ix.label_of(p)}
+                for p in ix.path_to_root(cid)
+            ]
+
+        return self._serve("path", cid, compute)
+
+    def find_categories(self, query: str, top_k: int = 10) -> list[dict]:
+        """Free-text label search over the categories (best first)."""
+
+        def compute(gen: Generation) -> list[dict]:
+            ix = gen.indexes
+            return [
+                {
+                    "cid": hit.doc_id,
+                    "label": ix.label_of(hit.doc_id),
+                    "relevance": hit.relevance,
+                }
+                for hit in ix.find_labels(query, top_k=top_k)
+            ]
+
+        return self._serve("search", (query, top_k), compute)
+
+    # -- introspection -------------------------------------------------------
+
+    def latency_percentiles(self) -> dict[str, float]:
+        """p50/p95/p99/max over the recent latency window, in ms."""
+        samples = sorted(self._latencies)
+        if not samples:
+            return {"p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0, "max_ms": 0.0}
+
+        def pct(q: float) -> float:
+            rank = max(0, min(len(samples) - 1, int(q * len(samples)) - 1))
+            return samples[rank] * 1000.0
+
+        return {
+            "p50_ms": pct(0.50),
+            "p95_ms": pct(0.95),
+            "p99_ms": pct(0.99),
+            "max_ms": samples[-1] * 1000.0,
+        }
+
+    def stats(self) -> dict:
+        """A JSON-ready health/throughput/cache report for this engine."""
+        gen = self._gen
+        cache = self._cache
+        with self._stats_lock:
+            ops = {
+                op: {
+                    "requests": s.requests,
+                    "errors": s.errors,
+                    "wall_s": s.wall_s,
+                }
+                for op, s in sorted(self._op_stats.items())
+            }
+        hits, misses = cache.hits, cache.misses
+        lookups = hits + misses
+        return {
+            "generation": gen.number if gen is not None else 0,
+            "snapshot_id": gen.snapshot_id if gen is not None else "",
+            "variant": gen.variant.describe() if gen is not None else "",
+            "n_categories": gen.indexes.n_categories if gen is not None else 0,
+            "uses_bitset": gen.indexes.uses_bitset if gen is not None else False,
+            "cache": {
+                "size": len(cache),
+                "maxsize": cache.maxsize,
+                "hits": hits,
+                "misses": misses,
+                "hit_rate": hits / lookups if lookups else 0.0,
+            },
+            "ops": ops,
+            "requests": sum(s["requests"] for s in ops.values()),
+            "latency": self.latency_percentiles(),
+        }

@@ -1,0 +1,135 @@
+"""Hot-swap choreography: prepare off-path, publish with one flip.
+
+A swap has two halves with very different costs:
+
+1. **prepare** — load or rebuild a tree and compute its
+   :class:`~repro.serving.indexes.SnapshotIndexes`. Arbitrarily slow;
+   runs on a background thread (or before serving starts), never holding
+   any lock the read path touches.
+2. **publish** — :meth:`ServingEngine.publish`: assign the next
+   generation number and flip one reference. In-flight requests finish
+   on the generation they started with; requests that arrive after the
+   flip see the new tree. No request is ever dropped or served a
+   half-installed generation.
+
+:class:`HotSwapper` packages the common sources of a new generation
+(a snapshot store reload, a fresh builder run) behind that two-phase
+protocol, synchronously or on a daemon thread.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+from repro.algorithms.base import TreeBuilder
+from repro.core.input_sets import OCTInstance
+from repro.core.variants import Variant
+from repro.observability import get_tracer
+from repro.serving.engine import Generation, ServingEngine, prepare_generation
+from repro.serving.snapshot import SnapshotStore
+
+
+class HotSwapper:
+    """Builds new generations for one engine and publishes them atomically."""
+
+    def __init__(
+        self, engine: ServingEngine, use_bitset: bool | None = None
+    ) -> None:
+        self.engine = engine
+        self.use_bitset = use_bitset
+        self._swap_lock = threading.Lock()  # serializes whole swaps
+
+    # -- generation sources --------------------------------------------------
+
+    def generation_from_store(
+        self, store: SnapshotStore, snapshot_id: str | None = None
+    ) -> Generation:
+        """Prepare (not publish) a generation from a stored snapshot."""
+        loaded = store.load(snapshot_id)
+        return prepare_generation(
+            loaded.tree,
+            loaded.instance,
+            loaded.variant,
+            snapshot_id=loaded.info.snapshot_id,
+            use_bitset=self.use_bitset,
+        )
+
+    def generation_from_build(
+        self,
+        builder: TreeBuilder,
+        instance: OCTInstance,
+        variant: Variant,
+        store: SnapshotStore | None = None,
+    ) -> Generation:
+        """Prepare a generation by running a tree builder from scratch.
+
+        With ``store`` the rebuilt tree is also saved (and activated) as
+        a snapshot, so the rebuild is durable and rollback-able.
+        """
+        tracer = get_tracer()
+        with tracer.span("serving.rebuild"):
+            tree = builder.build(instance, variant)
+        snapshot_id = ""
+        if store is not None:
+            snapshot_id = store.save(tree, instance, variant).snapshot_id
+            # Serve the snapshot's canonical (round-tripped) form, so a
+            # later reload from disk is indistinguishable from this build.
+            return self.generation_from_store(store, snapshot_id)
+        return prepare_generation(
+            tree, instance, variant,
+            snapshot_id=snapshot_id, use_bitset=self.use_bitset,
+        )
+
+    # -- swapping ------------------------------------------------------------
+
+    def swap(self, prepare: Callable[[], Generation]) -> Generation:
+        """Run a prepare callable and publish its result (synchronous).
+
+        Swaps are serialized against each other so two concurrent
+        rebuilds cannot publish out of order; the read path is never
+        blocked by this lock.
+        """
+        with self._swap_lock:
+            generation = prepare()
+            return self.engine.publish(generation)
+
+    def swap_from_store(
+        self, store: SnapshotStore, snapshot_id: str | None = None
+    ) -> Generation:
+        """Reload a snapshot (default: CURRENT) and publish it."""
+        return self.swap(lambda: self.generation_from_store(store, snapshot_id))
+
+    def swap_from_build(
+        self,
+        builder: TreeBuilder,
+        instance: OCTInstance,
+        variant: Variant,
+        store: SnapshotStore | None = None,
+    ) -> Generation:
+        """Rebuild with ``builder`` and publish the result."""
+        return self.swap(
+            lambda: self.generation_from_build(builder, instance, variant, store)
+        )
+
+    def swap_in_background(
+        self,
+        prepare: Callable[[], Generation],
+        on_published: Callable[[Generation], None] | None = None,
+    ) -> threading.Thread:
+        """Start a daemon thread doing prepare+publish; returns it.
+
+        The caller can ``join()`` the thread to wait for the publish or
+        pass ``on_published`` to be notified with the new generation.
+        """
+
+        def worker() -> None:
+            generation = self.swap(prepare)
+            if on_published is not None:
+                on_published(generation)
+
+        thread = threading.Thread(
+            target=worker, name="repro-serving-hotswap", daemon=True
+        )
+        thread.start()
+        return thread

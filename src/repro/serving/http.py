@@ -1,0 +1,295 @@
+"""Zero-dependency HTTP/JSON frontend for a :class:`ServingEngine`.
+
+Built on the standard library's ``ThreadingHTTPServer`` so the serving
+layer needs nothing the container does not already have. One handler
+thread per connection; every handler reads the engine's current
+generation independently, so a hot swap never blocks or drops a request.
+
+Endpoints (all JSON):
+
+========================  =====================================================
+``GET /healthz``          liveness + serving generation/snapshot
+``GET /stats``            :meth:`ServingEngine.stats` (cache, latency, ops)
+``GET /categorize?item=`` the item's branch placements
+``GET /best-category?items=a,b,c[&delta=0.7][&variant=spec]``
+                          best-scoring category for a query result set
+``GET /browse[?cid=N]``   one navigation page (root when ``cid`` omitted)
+``GET /path?cid=N``       root-to-category breadcrumb
+``GET /search?q=text[&top_k=N]``
+                          free-text label search over categories
+``POST /admin/swap``      hot-swap to a stored snapshot
+                          (body: ``{"snapshot_id": "..."}``; empty body
+                          reloads the store's CURRENT snapshot)
+========================  =====================================================
+
+Errors: 400 on malformed parameters, 404 on unknown paths/cids, 409 when
+``/admin/swap`` is called on a server without a snapshot store.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
+
+from repro.serving.engine import ServingEngine
+from repro.serving.hotswap import HotSwapper
+from repro.serving.snapshot import SnapshotError, SnapshotStore, variant_from_spec
+
+
+class _BadRequest(Exception):
+    """Maps to a 400 response with the message as the error body."""
+
+
+class ServingHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one engine (and optional store)."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        engine: ServingEngine,
+        store: SnapshotStore | None = None,
+        max_requests: int | None = None,
+        quiet: bool = True,
+    ) -> None:
+        super().__init__(address, _Handler)
+        self.engine = engine
+        self.store = store
+        self.swapper = HotSwapper(engine)
+        self.quiet = quiet
+        self.max_requests = max_requests
+        self._handled = 0
+        self._handled_lock = threading.Lock()
+
+    def note_request_handled(self) -> None:
+        """Count a finished request; shut down at ``max_requests``."""
+        if self.max_requests is None:
+            return
+        with self._handled_lock:
+            self._handled += 1
+            done = self._handled >= self.max_requests
+        if done:
+            # shutdown() blocks until serve_forever exits, so it must run
+            # off the handler thread.
+            threading.Thread(target=self.shutdown, daemon=True).start()
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: ServingHTTPServer  # narrowed for readability
+
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ------------------------------------------------------------
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if not self.server.quiet:  # pragma: no cover - debug aid
+            super().log_message(format, *args)
+
+    def _reply(self, status: int, payload: dict | list) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+        self.server.note_request_handled()
+
+    def _params(self) -> dict[str, str]:
+        query = urlsplit(self.path).query
+        return {k: v[-1] for k, v in parse_qs(query).items()}
+
+    def _require(self, params: dict[str, str], name: str) -> str:
+        try:
+            return params[name]
+        except KeyError:
+            raise _BadRequest(f"missing query parameter {name!r}") from None
+
+    def _int_param(self, params: dict[str, str], name: str) -> int:
+        raw = self._require(params, name)
+        try:
+            return int(raw)
+        except ValueError:
+            raise _BadRequest(f"{name} must be an integer, got {raw!r}") from None
+
+    # -- dispatch ------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        route = urlsplit(self.path).path
+        try:
+            handler = {
+                "/healthz": self._get_healthz,
+                "/stats": self._get_stats,
+                "/categorize": self._get_categorize,
+                "/best-category": self._get_best_category,
+                "/browse": self._get_browse,
+                "/path": self._get_path,
+                "/search": self._get_search,
+            }.get(route)
+            if handler is None:
+                self._reply(404, {"error": f"unknown path {route!r}"})
+                return
+            handler()
+        except _BadRequest as exc:
+            self._reply(400, {"error": str(exc)})
+        except KeyError as exc:
+            self._reply(404, {"error": f"unknown category {exc}"})
+        except Exception as exc:  # pragma: no cover - defensive 500
+            self._reply(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        route = urlsplit(self.path).path
+        try:
+            if route != "/admin/swap":
+                self._reply(404, {"error": f"unknown path {route!r}"})
+                return
+            self._post_swap()
+        except _BadRequest as exc:
+            self._reply(400, {"error": str(exc)})
+        except SnapshotError as exc:
+            self._reply(404, {"error": str(exc)})
+        except Exception as exc:  # pragma: no cover - defensive 500
+            self._reply(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+    # -- GET endpoints -------------------------------------------------------
+
+    def _get_healthz(self) -> None:
+        engine = self.server.engine
+        gen = engine.current
+        self._reply(
+            200,
+            {
+                "status": "ok",
+                "generation": gen.number,
+                "snapshot_id": gen.snapshot_id,
+            },
+        )
+
+    def _get_stats(self) -> None:
+        self._reply(200, self.server.engine.stats())
+
+    def _get_categorize(self) -> None:
+        params = self._params()
+        item = self._require(params, "item")
+        placements = self.server.engine.categorize_item(item)
+        self._reply(200, {"item": item, "placements": placements})
+
+    def _get_best_category(self) -> None:
+        params = self._params()
+        raw_items = self._require(params, "items")
+        items = frozenset(i for i in raw_items.split(",") if i)
+        if not items:
+            raise _BadRequest("items must be a non-empty comma-separated list")
+        delta = None
+        if "delta" in params:
+            try:
+                delta = float(params["delta"])
+            except ValueError:
+                raise _BadRequest(
+                    f"delta must be a float, got {params['delta']!r}"
+                ) from None
+        variant = None
+        if "variant" in params:
+            try:
+                variant = variant_from_spec(params["variant"])
+            except SnapshotError as exc:
+                raise _BadRequest(str(exc)) from None
+        best = self.server.engine.best_category(
+            items, variant=variant, delta=delta
+        )
+        self._reply(
+            200,
+            {
+                "items": sorted(items),
+                "covered": best is not None,
+                "best": None
+                if best is None
+                else {
+                    "cid": best.cid,
+                    "label": best.label,
+                    "score": best.score,
+                    "precision": best.precision,
+                    "depth": best.depth,
+                },
+            },
+        )
+
+    def _get_browse(self) -> None:
+        params = self._params()
+        cid = self._int_param(params, "cid") if "cid" in params else None
+        self._reply(200, self.server.engine.browse(cid))
+
+    def _get_path(self) -> None:
+        cid = self._int_param(self._params(), "cid")
+        self._reply(200, {"cid": cid, "path": self.server.engine.path_to_root(cid)})
+
+    def _get_search(self) -> None:
+        params = self._params()
+        query = self._require(params, "q")
+        top_k = 10
+        if "top_k" in params:
+            top_k = self._int_param(params, "top_k")
+        self._reply(
+            200,
+            {"q": query, "hits": self.server.engine.find_categories(query, top_k)},
+        )
+
+    # -- POST endpoints ------------------------------------------------------
+
+    def _post_swap(self) -> None:
+        store = self.server.store
+        if store is None:
+            self._reply(
+                409, {"error": "this server has no snapshot store attached"}
+            )
+            return
+        length = int(self.headers.get("Content-Length") or 0)
+        body = self.rfile.read(length) if length else b""
+        snapshot_id: str | None = None
+        if body.strip():
+            try:
+                payload = json.loads(body)
+            except json.JSONDecodeError:
+                raise _BadRequest("swap body must be JSON") from None
+            if not isinstance(payload, dict):
+                raise _BadRequest("swap body must be a JSON object")
+            snapshot_id = payload.get("snapshot_id")
+        generation = self.server.swapper.swap_from_store(store, snapshot_id)
+        self._reply(
+            200,
+            {
+                "status": "swapped",
+                "generation": generation.number,
+                "snapshot_id": generation.snapshot_id,
+            },
+        )
+
+
+def make_server(
+    engine: ServingEngine,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    store: SnapshotStore | None = None,
+    max_requests: int | None = None,
+    quiet: bool = True,
+) -> ServingHTTPServer:
+    """Bind a serving HTTP server (``port=0`` picks a free port).
+
+    The caller drives it: ``serve_forever()`` inline, or on a thread via
+    :func:`serve_in_background`. The bound port is ``server.server_port``.
+    """
+    return ServingHTTPServer(
+        (host, port), engine, store=store,
+        max_requests=max_requests, quiet=quiet,
+    )
+
+
+def serve_in_background(server: ServingHTTPServer) -> threading.Thread:
+    """Run ``server.serve_forever()`` on a daemon thread; returns it."""
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-serving-http", daemon=True
+    )
+    thread.start()
+    return thread

@@ -1,0 +1,216 @@
+"""Read-optimized per-snapshot index structures.
+
+A :class:`SnapshotIndexes` is computed once when a snapshot is loaded
+(off the request path — see :mod:`repro.serving.hotswap`) and answers
+every read-side question without walking or mutating the tree:
+
+* **item -> category postings** — for each item, the categories that
+  contain it (pre-order) and the *minimal* (most-specific) ones, i.e.
+  the item's branch/leaf placements;
+* **label lookup** — a :class:`repro.search.SearchEngine` over category
+  labels, so free-text navigation queries resolve to categories;
+* **packed category bitsets** — each category's item set packed into a
+  :class:`repro.core.bitset.BitsetUniverse` row, so ``best_category``
+  scores a query against *all* categories with one AND+popcount pass of
+  the PR 1 kernel instead of per-category Python set ops.
+
+Scoring reuses the scalar
+:func:`repro.core.similarity.variant_score_from_sizes` on the
+intersection counts, so both the bitset and the postings path return
+bit-identical scores to the offline :func:`repro.core.scoring.score_tree`
+reference (the differential test in ``tests/test_serving_engine.py``
+pins this). Ties between equally scoring categories break exactly like
+the offline scorer — higher precision, then greater depth — with the
+lower cid as the final deterministic tie-break.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable
+
+from repro.core import bitset
+from repro.core.input_sets import OCTInstance
+from repro.core.similarity import variant_score_from_sizes
+from repro.core.tree import Category, CategoryTree
+from repro.core.variants import Variant
+from repro.search.engine import SearchEngine
+
+Item = Hashable
+
+
+@dataclass(frozen=True)
+class BestCategory:
+    """The winning category for one query, with its score breakdown."""
+
+    cid: int
+    label: str
+    score: float
+    precision: float
+    depth: int
+
+
+class SnapshotIndexes:
+    """Immutable read-side indexes over one (tree, instance, variant)."""
+
+    def __init__(
+        self,
+        tree: CategoryTree,
+        instance: OCTInstance,
+        variant: Variant,
+        use_bitset: bool | None = None,
+    ) -> None:
+        self.variant = variant
+        cats = list(tree.categories())  # pre-order, root first
+        self.by_cid: dict[int, Category] = {c.cid: c for c in cats}
+        self.root_cid = tree.root.cid
+        self.sizes: dict[int, int] = {c.cid: len(c.items) for c in cats}
+        self.depths: dict[int, int] = {c.cid: c.depth for c in cats}
+        self.parent_of: dict[int, int | None] = {
+            c.cid: (c.parent.cid if c.parent is not None else None)
+            for c in cats
+        }
+        self.children_of: dict[int, tuple[int, ...]] = {
+            c.cid: tuple(child.cid for child in c.children) for c in cats
+        }
+
+        # Item -> containing categories (pre-order) and item -> minimal
+        # (most-specific) categories: the branch placements a bound-k
+        # item occupies. One pass each, mirroring tree.item_branch_counts.
+        postings: dict[Item, list[int]] = {}
+        minimal: dict[Item, list[int]] = {}
+        for cat in cats:
+            covered_by_children: set[Item] = set()
+            for child in cat.children:
+                covered_by_children |= child.items
+            for item in cat.items:
+                postings.setdefault(item, []).append(cat.cid)
+                if item not in covered_by_children:
+                    minimal.setdefault(item, []).append(cat.cid)
+        self.item_postings: dict[Item, tuple[int, ...]] = {
+            item: tuple(cids) for item, cids in postings.items()
+        }
+        self.item_placements: dict[Item, tuple[int, ...]] = {
+            item: tuple(cids) for item, cids in minimal.items()
+        }
+
+        # Label -> category lookup over the labeled categories.
+        self.label_engine = SearchEngine()
+        for cat in cats:
+            if cat.label:
+                self.label_engine.add_document(cat.cid, cat.label)
+
+        # Packed category bitsets (PR 1 kernel). The universe is the
+        # root's item set: every indexable item is in it, and query items
+        # outside it cannot intersect any category.
+        self._cids = [c.cid for c in cats]
+        self._bitset: "bitset.BitsetUniverse | None" = None
+        if bitset.should_use(len(cats), len(tree.root.items), use_bitset):
+            self._bitset = bitset.BitsetUniverse(
+                [c.items for c in cats], universe=tree.root.items
+            )
+
+    # -- simple lookups ------------------------------------------------------
+
+    @property
+    def n_categories(self) -> int:
+        return len(self.by_cid)
+
+    @property
+    def uses_bitset(self) -> bool:
+        return self._bitset is not None
+
+    def category(self, cid: int) -> Category:
+        """The category for a cid; raises ``KeyError`` when unknown."""
+        return self.by_cid[cid]
+
+    def label_of(self, cid: int) -> str:
+        cat = self.by_cid[cid]
+        return cat.label or f"C{cat.cid}"
+
+    def path_to_root(self, cid: int) -> list[int]:
+        """Root-to-``cid`` cid path, inclusive (pointer chase, no scan)."""
+        path = [cid]
+        parent = self.parent_of[cid]
+        while parent is not None:
+            path.append(parent)
+            parent = self.parent_of[parent]
+        path.reverse()
+        return path
+
+    def placements(self, item: Item) -> tuple[int, ...]:
+        """The most-specific categories containing an item ('' when unknown)."""
+        return self.item_placements.get(item, ())
+
+    def find_labels(self, query: str, top_k: int = 10):
+        """Scored category hits for a free-text label query."""
+        return self.label_engine.search(query, top_k=top_k)
+
+    # -- query scoring -------------------------------------------------------
+
+    def intersection_counts(self, items: frozenset) -> dict[int, int]:
+        """``{cid: |q ∩ C|}`` for the nonzero categories, cid-ascending.
+
+        Uses the packed bitset kernel when available (one AND+popcount
+        pass over all category rows), the item postings otherwise. Both
+        paths return identical dicts.
+        """
+        if self._bitset is not None:
+            known = [i for i in items if i in self._bitset.index]
+            if not known:
+                return {}
+            sizes = self._bitset.intersection_sizes(self._bitset.pack(known))
+            return {
+                self._cids[row]: int(common)
+                for row, common in enumerate(sizes.tolist())
+                if common
+            }
+        counts: dict[int, int] = {}
+        for item in items:
+            for cid in self.item_postings.get(item, ()):
+                counts[cid] = counts.get(cid, 0) + 1
+        # Postings insert in query-item order; normalize to the bitset
+        # path's pre-order (row) order for dict-level equality.
+        return {
+            cid: counts[cid] for cid in self._cids if cid in counts
+        }
+
+    def best_category(
+        self,
+        items: Iterable[Item],
+        variant: Variant | None = None,
+        delta: float | None = None,
+    ) -> BestCategory | None:
+        """The category scoring best against a query item set.
+
+        Scoring follows the offline reference bit for bit: the scalar
+        ``variant_score_from_sizes`` on each nonzero intersection, ties
+        broken towards higher precision, then greater depth, then lower
+        cid. Returns None when no category scores above zero (the query
+        is not covered by this tree under the variant).
+        """
+        variant = variant if variant is not None else self.variant
+        effective_delta = delta if delta is not None else variant.delta
+        q = items if isinstance(items, frozenset) else frozenset(items)
+        q_size = len(q)
+        best: BestCategory | None = None
+        for cid, common in self.intersection_counts(q).items():
+            c_size = self.sizes[cid]
+            score = variant_score_from_sizes(
+                variant, q_size, c_size, common, effective_delta
+            )
+            if score <= 0.0:
+                continue
+            precision = common / c_size if c_size else 0.0
+            depth = self.depths[cid]
+            if best is None or (score, precision, depth, -cid) > (
+                best.score, best.precision, best.depth, -best.cid
+            ):
+                best = BestCategory(
+                    cid=cid,
+                    label=self.label_of(cid),
+                    score=score,
+                    precision=precision,
+                    depth=depth,
+                )
+        return best

@@ -36,3 +36,9 @@ class TestExamples:
         out = run_example("continual_updates", capsys)
         assert "Table 1" in out
         assert "90%/10%" in out
+
+    def test_serving_quickstart(self, capsys):
+        out = run_example("serving_quickstart", capsys)
+        assert "snapshot snap-" in out
+        assert "hot-swapped to generation 2" in out
+        assert "cache hit rate" in out

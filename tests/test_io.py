@@ -7,6 +7,7 @@ import pytest
 from repro.algorithms import CTCR
 from repro.core import CategoryTree, Variant, make_instance, score_tree
 from repro.io import (
+    FORMAT_VERSION,
     SerializationError,
     dump_instance,
     dump_tree,
@@ -59,6 +60,23 @@ class TestTreeRoundTrip:
     def test_bad_version_rejected(self):
         with pytest.raises(SerializationError):
             tree_from_dict({"version": 99, "root": {}})
+
+    def test_newer_version_names_both_versions(self):
+        with pytest.raises(SerializationError) as exc_info:
+            tree_from_dict({"version": FORMAT_VERSION + 1, "root": {}})
+        message = str(exc_info.value)
+        assert str(FORMAT_VERSION + 1) in message
+        assert str(FORMAT_VERSION) in message
+        assert "newer" in message
+
+    def test_older_version_uses_generic_message(self):
+        with pytest.raises(SerializationError) as exc_info:
+            tree_from_dict({"version": 0, "root": {}})
+        assert "newer" not in str(exc_info.value)
+
+    def test_non_integer_version_rejected(self):
+        with pytest.raises(SerializationError):
+            tree_from_dict({"version": "2", "root": {}})
 
     def test_missing_root_rejected(self):
         with pytest.raises(SerializationError):
@@ -119,3 +137,17 @@ class TestInstanceRoundTrip:
     def test_bad_version_rejected(self):
         with pytest.raises(SerializationError):
             instance_from_dict({"version": 0, "sets": []})
+
+    def test_newer_version_names_both_versions(self):
+        with pytest.raises(SerializationError) as exc_info:
+            instance_from_dict({"version": FORMAT_VERSION + 7, "sets": []})
+        message = str(exc_info.value)
+        assert str(FORMAT_VERSION + 7) in message
+        assert str(FORMAT_VERSION) in message
+        assert "newer" in message
+
+    def test_current_version_round_trips(self):
+        payload = instance_to_dict(make_instance([{"a", "b"}]))
+        assert payload["version"] == FORMAT_VERSION
+        clone = instance_from_dict(payload)
+        assert clone.get(0).items == {"a", "b"}

@@ -19,6 +19,7 @@ PACKAGES = [
     "repro.observability",
     "repro.pipeline",
     "repro.search",
+    "repro.serving",
     "repro.utils",
 ]
 

@@ -123,3 +123,36 @@ class TestEngine:
         a = engine.result_set("nike shirts", 0.8)
         b = engine.result_set("nike shirt", 0.8)
         assert a == b
+
+    def test_top_k_zero_returns_nothing(self):
+        assert self.make_engine().search("shirt", top_k=0) == []
+
+    def test_top_k_larger_than_corpus(self):
+        hits = self.make_engine().search("shirt", top_k=100)
+        assert len(hits) == 3  # every shirt document, nothing invented
+
+    def test_unknown_tokens_mixed_with_known_still_match(self):
+        # An out-of-vocabulary token lowers relevance but must not hide
+        # the documents the known tokens retrieve.
+        engine = self.make_engine()
+        hits = engine.search("qwertyuiop nike")
+        assert {h.doc_id for h in hits} == {"p2", "p3", "p4"}
+        assert all(h.relevance < 1.0 for h in hits)
+
+    def test_equal_relevance_ties_break_on_doc_id(self):
+        engine = SearchEngine()
+        engine.add_documents({"b": "same title", "a": "same title"})
+        hits = engine.search("same title")
+        assert [h.doc_id for h in hits] == ["a", "b"]
+        assert hits[0].relevance == hits[1].relevance
+
+    def test_idf_of_absent_token_is_finite_maximum(self):
+        # Smoothed IDF: an absent token (df=0) gets the largest finite
+        # weight, strictly above every indexed token's.
+        engine = self.make_engine()
+        absent = engine.index.idf("qwertyuiop")
+        assert absent > 0.0
+        assert all(
+            engine.index.idf(token) < absent
+            for token in engine.index.postings
+        )

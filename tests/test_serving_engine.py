@@ -1,0 +1,284 @@
+"""Tests for SnapshotIndexes and the thread-safe ServingEngine.
+
+The acceptance bar for the serving layer is *bit-identical* agreement
+with the offline scorer: for every variant, the engine's best_category
+must reproduce ``score_tree``'s per-set score/precision/depth exactly,
+on both the packed-bitset and the postings scoring paths.
+"""
+
+import threading
+
+import pytest
+
+from repro.algorithms import CTCR
+from repro.core import Variant, score_tree
+from repro.serving import (
+    HotSwapper,
+    ServingEngine,
+    ServingError,
+    SnapshotIndexes,
+    SnapshotStore,
+    prepare_generation,
+)
+
+
+@pytest.fixture()
+def built(figure2_instance):
+    variant = Variant.threshold_jaccard(0.6)
+    tree = CTCR().build(figure2_instance, variant)
+    return tree, figure2_instance, variant
+
+
+@pytest.fixture()
+def engine(built):
+    tree, instance, variant = built
+    return ServingEngine.from_tree(tree, instance, variant)
+
+
+class TestDifferentialScoring:
+    """Engine answers must match the offline score_tree reference."""
+
+    def _assert_matches_reference(self, tree, instance, variant, use_bitset):
+        indexes = SnapshotIndexes(
+            tree, instance, variant, use_bitset=use_bitset
+        )
+        report = score_tree(tree, instance, variant)
+        for q in instance:
+            best = indexes.best_category(q.items)
+            entry = report.per_set[q.sid]
+            if entry.covered:
+                assert best is not None, (variant.describe(), q.sid)
+                assert best.score == entry.score
+                assert best.precision == entry.best_precision
+            else:
+                assert best is None, (variant.describe(), q.sid)
+
+    def test_every_variant_matches_offline_scorer(
+        self, figure2_instance, all_variants
+    ):
+        for variant in all_variants:
+            tree = CTCR().build(figure2_instance, variant)
+            for use_bitset in (False, True):
+                self._assert_matches_reference(
+                    tree, figure2_instance, variant, use_bitset
+                )
+
+    def test_dataset_scale_matches_offline_scorer(self, tiny_dataset):
+        from repro.pipeline import preprocess
+
+        variant = Variant.threshold_jaccard(0.8)
+        instance, _ = preprocess(tiny_dataset, variant)
+        tree = CTCR().build(instance, variant)
+        for use_bitset in (False, True):
+            self._assert_matches_reference(
+                tree, instance, variant, use_bitset
+            )
+
+    def test_bitset_and_postings_paths_identical(self, built):
+        tree, instance, variant = built
+        on = SnapshotIndexes(tree, instance, variant, use_bitset=True)
+        off = SnapshotIndexes(tree, instance, variant, use_bitset=False)
+        assert on.uses_bitset and not off.uses_bitset
+        queries = [q.items for q in instance] + [
+            frozenset({"a"}),
+            frozenset({"a", "zzz-unknown"}),
+            frozenset({"zzz-unknown"}),
+            frozenset(instance.universe),
+        ]
+        for q in queries:
+            assert on.intersection_counts(q) == off.intersection_counts(q)
+            assert on.best_category(q) == off.best_category(q)
+
+    def test_tie_break_is_deterministic_lowest_cid(self, figure2_instance):
+        variant = Variant.threshold_jaccard(0.6)
+        tree = CTCR().build(figure2_instance, variant)
+        ix = SnapshotIndexes(tree, instance=figure2_instance, variant=variant)
+        best = ix.best_category(frozenset({"a", "b"}))
+        again = ix.best_category(frozenset({"b", "a"}))
+        assert best == again
+
+
+class TestEngineOperations:
+    def test_query_before_publish_raises(self):
+        engine = ServingEngine()
+        assert engine.generation == 0
+        with pytest.raises(ServingError):
+            engine.browse()
+        with pytest.raises(ServingError):
+            engine.current
+
+    def test_categorize_known_and_unknown(self, engine, built):
+        tree, _, _ = built
+        item = next(iter(tree.root.items))
+        placements = engine.categorize_item(item)
+        assert placements
+        assert all({"cid", "label", "path"} <= p.keys() for p in placements)
+        assert engine.categorize_item("zzz-unknown") == []
+
+    def test_browse_root_and_child(self, engine):
+        page = engine.browse()
+        assert page["depth"] == 0
+        assert page["n_items"] > 0
+        if page["children"]:
+            child = engine.browse(page["children"][0]["cid"])
+            assert child["path"][0]["cid"] == page["cid"]
+
+    def test_browse_unknown_cid_raises_keyerror(self, engine):
+        with pytest.raises(KeyError):
+            engine.browse(10_000)
+        with pytest.raises(KeyError):
+            engine.path_to_root(10_000)
+
+    def test_path_to_root_starts_at_root(self, engine):
+        root_cid = engine.browse()["cid"]
+        page = engine.browse()
+        if page["children"]:
+            cid = page["children"][0]["cid"]
+            path = engine.path_to_root(cid)
+            assert path[0]["cid"] == root_cid
+            assert path[-1]["cid"] == cid
+
+    def test_find_categories_by_label(self, engine):
+        hits = engine.find_categories("shirt")
+        assert hits, "labeled categories must be searchable"
+        assert all(0.0 < h["relevance"] <= 1.0 for h in hits)
+
+    def test_best_category_variant_and_delta_overrides(self, engine, built):
+        _, instance, _ = built
+        q = instance.get(0).items
+        default = engine.best_category(q)
+        assert default is not None
+        loose = engine.best_category(q, delta=0.1)
+        assert loose is not None and loose.score >= default.score
+        other = engine.best_category(q, variant=Variant.perfect_recall(0.5))
+        assert other is not None
+
+    def test_stats_shape(self, engine):
+        engine.browse()
+        stats = engine.stats()
+        assert stats["generation"] == 1
+        assert stats["n_categories"] > 0
+        assert stats["requests"] >= 1
+        assert 0.0 <= stats["cache"]["hit_rate"] <= 1.0
+        assert set(stats["latency"]) == {"p50_ms", "p95_ms", "p99_ms", "max_ms"}
+
+
+class TestCaching:
+    def test_repeat_queries_hit_cache(self, engine):
+        before = engine.stats()["cache"]["hits"]
+        engine.browse()
+        engine.browse()
+        engine.browse()
+        assert engine.stats()["cache"]["hits"] >= before + 2
+
+    def test_cache_disabled(self, built):
+        tree, instance, variant = built
+        engine = ServingEngine.from_tree(tree, instance, variant, cache_size=0)
+        engine.browse()
+        engine.browse()
+        cache = engine.stats()["cache"]
+        assert cache["hits"] == 0
+        assert cache["size"] == 0
+
+    def test_swap_invalidates_cache_logically(self, built):
+        tree, instance, variant = built
+        engine = ServingEngine.from_tree(tree, instance, variant)
+        engine.browse()
+        engine.browse()
+        hits_before = engine.stats()["cache"]["hits"]
+        engine.publish(prepare_generation(tree, instance, variant))
+        engine.browse()  # new generation key: a miss, not a stale hit
+        stats = engine.stats()["cache"]
+        assert stats["hits"] == hits_before
+        engine.browse()
+        assert engine.stats()["cache"]["hits"] == hits_before + 1
+
+    def test_lru_eviction_bounds_size(self, engine):
+        for cid in [c["cid"] for c in engine.browse()["children"]]:
+            engine.path_to_root(cid)
+        assert engine.stats()["cache"]["size"] <= engine._cache.maxsize
+
+
+class TestHotSwap:
+    def test_publish_increments_generation(self, built):
+        tree, instance, variant = built
+        engine = ServingEngine.from_tree(tree, instance, variant)
+        assert engine.generation == 1
+        gen = engine.publish(prepare_generation(tree, instance, variant))
+        assert gen.number == 2
+        assert engine.generation == 2
+        assert engine.current is gen
+
+    def test_swap_from_store_serves_new_snapshot(self, tmp_path, built):
+        tree, instance, variant = built
+        store = SnapshotStore(tmp_path)
+        store.save(tree, instance, variant)
+        engine = ServingEngine.from_snapshot(store.load())
+        swapper = HotSwapper(engine)
+
+        other_variant = Variant.perfect_recall(0.5)
+        other_tree = CTCR().build(instance, other_variant)
+        info = store.save(other_tree, instance, other_variant)
+        gen = swapper.swap_from_store(store)
+        assert gen.number == 2
+        assert engine.current.snapshot_id == info.snapshot_id
+        assert engine.stats()["variant"] == other_variant.describe()
+
+    def test_swap_from_build_persists_to_store(self, tmp_path, built):
+        tree, instance, variant = built
+        engine = ServingEngine.from_tree(tree, instance, variant)
+        store = SnapshotStore(tmp_path)
+        gen = HotSwapper(engine).swap_from_build(
+            CTCR(), instance, variant, store=store
+        )
+        assert gen.snapshot_id
+        assert store.current_id() == gen.snapshot_id
+
+    def test_swap_in_background_publishes(self, built):
+        tree, instance, variant = built
+        engine = ServingEngine.from_tree(tree, instance, variant)
+        published = []
+        thread = HotSwapper(engine).swap_in_background(
+            lambda: prepare_generation(tree, instance, variant),
+            on_published=published.append,
+        )
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+        assert published and published[0].number == 2
+
+    def test_stress_readers_with_mid_flight_swaps(self, built):
+        """>= 8 reader threads while generations flip; zero errors."""
+        tree, instance, variant = built
+        engine = ServingEngine.from_tree(tree, instance, variant)
+        item = next(iter(tree.root.items))
+        q = instance.get(0).items
+        reference = engine.best_category(q)
+        n_threads = 8
+        errors: list[str] = []
+        barrier = threading.Barrier(n_threads + 1)
+
+        def reader() -> None:
+            barrier.wait()
+            for _ in range(300):
+                try:
+                    engine.browse()
+                    engine.categorize_item(item)
+                    best = engine.best_category(q)
+                    assert best == reference
+                except Exception as exc:  # collected, not raised
+                    errors.append(f"{type(exc).__name__}: {exc}")
+
+        threads = [
+            threading.Thread(target=reader, daemon=True)
+            for _ in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        barrier.wait()
+        for _ in range(10):
+            engine.publish(prepare_generation(tree, instance, variant))
+        for t in threads:
+            t.join(timeout=60)
+        assert not any(t.is_alive() for t in threads)
+        assert errors == []
+        assert engine.generation == 11

@@ -1,0 +1,204 @@
+"""Tests for the HTTP/JSON serving frontend (real sockets, port 0)."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.algorithms import CTCR
+from repro.core import Variant
+from repro.serving import ServingEngine, SnapshotStore, make_server, serve_in_background
+
+
+def _get(server, path):
+    url = f"http://127.0.0.1:{server.server_port}{path}"
+    try:
+        with urllib.request.urlopen(url, timeout=10) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def _post(server, path, payload=None):
+    url = f"http://127.0.0.1:{server.server_port}{path}"
+    data = b"" if payload is None else json.dumps(payload).encode()
+    request = urllib.request.Request(url, data=data, method="POST")
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+@pytest.fixture()
+def served(figure2_instance, tmp_path):
+    variant = Variant.threshold_jaccard(0.6)
+    tree = CTCR().build(figure2_instance, variant)
+    store = SnapshotStore(tmp_path)
+    store.save(tree, figure2_instance, variant)
+    engine = ServingEngine.from_snapshot(store.load())
+    server = make_server(engine, store=store)
+    serve_in_background(server)
+    yield server, engine, store, figure2_instance
+    server.shutdown()
+    server.server_close()
+
+
+class TestReadEndpoints:
+    def test_healthz(self, served):
+        server, engine, _, _ = served
+        status, body = _get(server, "/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["generation"] == engine.generation
+        assert body["snapshot_id"].startswith("snap-")
+
+    def test_stats(self, served):
+        server, _, _, _ = served
+        status, body = _get(server, "/stats")
+        assert status == 200
+        assert body["n_categories"] > 0
+        assert "cache" in body and "latency" in body
+
+    def test_categorize(self, served):
+        server, _, _, _ = served
+        status, body = _get(server, "/categorize?item=a")
+        assert status == 200
+        assert body["item"] == "a"
+        assert body["placements"]
+
+    def test_best_category(self, served):
+        server, _, _, _ = served
+        # q1 = {a..e}: Jaccard 0.8 against the "black shirt" category.
+        status, body = _get(server, "/best-category?items=a,b,c,d,e")
+        assert status == 200
+        assert body["covered"] is True
+        assert body["best"]["score"] > 0
+
+    def test_best_category_uncovered(self, served):
+        server, _, _, _ = served
+        status, body = _get(server, "/best-category?items=a,b")
+        assert status == 200
+        assert body["covered"] is False
+        assert body["best"] is None
+
+    def test_best_category_with_overrides(self, served):
+        server, _, _, _ = served
+        status, body = _get(
+            server,
+            "/best-category?items=a,b&delta=0.1&variant=perfect-recall:0.5",
+        )
+        assert status == 200
+        assert body["covered"] is True
+
+    def test_browse_root_and_cid(self, served):
+        server, _, _, _ = served
+        status, root = _get(server, "/browse")
+        assert status == 200
+        assert root["depth"] == 0
+        if root["children"]:
+            cid = root["children"][0]["cid"]
+            status, page = _get(server, f"/browse?cid={cid}")
+            assert status == 200
+            assert page["cid"] == cid
+
+    def test_path(self, served):
+        server, _, _, _ = served
+        _, root = _get(server, "/browse")
+        status, body = _get(server, f"/path?cid={root['cid']}")
+        assert status == 200
+        assert body["path"][-1]["cid"] == root["cid"]
+
+    def test_search(self, served):
+        server, _, _, _ = served
+        status, body = _get(server, "/search?q=shirt&top_k=3")
+        assert status == 200
+        assert body["hits"]
+        assert len(body["hits"]) <= 3
+
+
+class TestErrorMapping:
+    def test_unknown_path_404(self, served):
+        server, _, _, _ = served
+        assert _get(server, "/nope")[0] == 404
+        assert _post(server, "/nope")[0] == 404
+
+    def test_unknown_cid_404(self, served):
+        server, _, _, _ = served
+        assert _get(server, "/browse?cid=99999")[0] == 404
+        assert _get(server, "/path?cid=99999")[0] == 404
+
+    def test_bad_params_400(self, served):
+        server, _, _, _ = served
+        assert _get(server, "/categorize")[0] == 400
+        assert _get(server, "/best-category?items=")[0] == 400
+        assert _get(server, "/best-category?items=a&delta=x")[0] == 400
+        assert _get(server, "/best-category?items=a&variant=bogus")[0] == 400
+        assert _get(server, "/browse?cid=notanint")[0] == 400
+        assert _post(server, "/admin/swap", {"snapshot_id": "snap-missing"})[
+            0
+        ] == 404
+
+    def test_swap_without_store_409(self, figure2_instance):
+        variant = Variant.threshold_jaccard(0.6)
+        tree = CTCR().build(figure2_instance, variant)
+        engine = ServingEngine.from_tree(tree, figure2_instance, variant)
+        server = make_server(engine)  # no store attached
+        serve_in_background(server)
+        try:
+            assert _post(server, "/admin/swap")[0] == 409
+        finally:
+            server.shutdown()
+            server.server_close()
+
+
+class TestAdminSwap:
+    def test_swap_bumps_generation(self, served):
+        server, engine, store, instance = served
+        before = engine.generation
+        status, body = _post(server, "/admin/swap")  # reload CURRENT
+        assert status == 200
+        assert body["status"] == "swapped"
+        assert body["generation"] == before + 1
+        assert engine.generation == before + 1
+        # Reads keep working on the new generation.
+        assert _get(server, "/best-category?items=a,b")[0] == 200
+
+    def test_swap_to_named_snapshot(self, served):
+        server, engine, store, instance = served
+        other_variant = Variant.perfect_recall(0.5)
+        other_tree = CTCR().build(instance, other_variant)
+        info = store.save(other_tree, instance, other_variant, activate=False)
+        status, body = _post(
+            server, "/admin/swap", {"snapshot_id": info.snapshot_id}
+        )
+        assert status == 200
+        assert body["snapshot_id"] == info.snapshot_id
+        assert engine.current.snapshot_id == info.snapshot_id
+
+    def test_swap_body_must_be_json_object(self, served):
+        server, _, _, _ = served
+        url = f"http://127.0.0.1:{server.server_port}/admin/swap"
+        request = urllib.request.Request(
+            url, data=b"not json", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as exc_info:
+            urllib.request.urlopen(request, timeout=10)
+        assert exc_info.value.code == 400
+
+
+class TestMaxRequests:
+    def test_server_stops_after_max_requests(self, figure2_instance):
+        variant = Variant.threshold_jaccard(0.6)
+        tree = CTCR().build(figure2_instance, variant)
+        engine = ServingEngine.from_tree(tree, figure2_instance, variant)
+        server = make_server(engine, max_requests=3)
+        thread = serve_in_background(server)
+        try:
+            for _ in range(3):
+                assert _get(server, "/healthz")[0] == 200
+            thread.join(timeout=10)
+            assert not thread.is_alive()
+        finally:
+            server.server_close()

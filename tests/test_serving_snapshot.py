@@ -1,0 +1,151 @@
+"""Tests for the versioned snapshot store and variant specs."""
+
+import json
+
+import pytest
+
+from repro.algorithms import CTCR
+from repro.core import Variant
+from repro.serving import (
+    SNAPSHOT_FORMAT_VERSION,
+    SnapshotError,
+    SnapshotInfo,
+    SnapshotStore,
+    variant_from_spec,
+    variant_spec,
+)
+
+
+@pytest.fixture()
+def built(figure2_instance):
+    variant = Variant.threshold_jaccard(0.6)
+    tree = CTCR().build(figure2_instance, variant)
+    return tree, figure2_instance, variant
+
+
+class TestVariantSpecs:
+    def test_round_trip_all_families(self, all_variants):
+        for variant in all_variants:
+            clone = variant_from_spec(variant_spec(variant))
+            assert clone.kind == variant.kind
+            assert clone.mode == variant.mode
+            assert clone.delta == variant.delta
+            assert clone.is_perfect_recall == variant.is_perfect_recall
+
+    def test_exact_spelled_via_jaccard_embedding(self):
+        assert variant_spec(Variant.exact()) == "threshold-jaccard:1"
+        assert variant_from_spec("exact").delta == 1.0
+
+    @pytest.mark.parametrize(
+        "spec", ["", "jaccard", "threshold-jaccard", "threshold-jaccard:x",
+                 "nope:0.5"]
+    )
+    def test_bad_specs_rejected(self, spec):
+        with pytest.raises(SnapshotError):
+            variant_from_spec(spec)
+
+
+class TestSnapshotStore:
+    def test_save_load_round_trip(self, tmp_path, built):
+        tree, instance, variant = built
+        store = SnapshotStore(tmp_path)
+        info = store.save(tree, instance, variant, build_run_id="run-1")
+        loaded = store.load()
+        assert loaded.info == info
+        # Rebuild reassigns cids (and with them sibling order), so
+        # compare the line multiset: same categories at the same depths.
+        assert sorted(loaded.tree.to_text().splitlines()) == sorted(
+            tree.to_text().splitlines()
+        )
+        assert loaded.instance.universe == instance.universe
+        assert loaded.variant.delta == variant.delta
+        assert info.build_run_id == "run-1"
+        assert info.n_sets == len(instance)
+        assert info.dataset["sha256"]  # instance fingerprint recorded
+
+    def test_content_addressing_dedups(self, tmp_path, built):
+        tree, instance, variant = built
+        store = SnapshotStore(tmp_path)
+        a = store.save(tree, instance, variant)
+        b = store.save(tree, instance, variant)
+        assert a.snapshot_id == b.snapshot_id
+        assert len(store) == 1
+
+    def test_different_variant_different_id(self, tmp_path, built):
+        tree, instance, _ = built
+        store = SnapshotStore(tmp_path)
+        a = store.save(tree, instance, Variant.threshold_jaccard(0.6))
+        b = store.save(tree, instance, Variant.threshold_jaccard(0.8))
+        assert a.snapshot_id != b.snapshot_id
+        assert len(store) == 2
+
+    def test_activate_moves_current(self, tmp_path, built):
+        tree, instance, _ = built
+        store = SnapshotStore(tmp_path)
+        a = store.save(tree, instance, Variant.threshold_jaccard(0.6))
+        b = store.save(tree, instance, Variant.threshold_jaccard(0.8))
+        assert store.current_id() == b.snapshot_id
+        store.activate(a.snapshot_id)
+        assert store.current_id() == a.snapshot_id
+        assert store.load().info.snapshot_id == a.snapshot_id
+
+    def test_save_without_activate_keeps_current(self, tmp_path, built):
+        tree, instance, _ = built
+        store = SnapshotStore(tmp_path)
+        a = store.save(tree, instance, Variant.threshold_jaccard(0.6))
+        store.save(tree, instance, Variant.threshold_jaccard(0.8),
+                   activate=False)
+        assert store.current_id() == a.snapshot_id
+
+    def test_empty_store(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        assert store.current_id() is None
+        assert list(store) == []
+        with pytest.raises(SnapshotError):
+            store.load()
+
+    def test_unknown_snapshot_rejected(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        with pytest.raises(SnapshotError):
+            store.info("snap-doesnotexist")
+        with pytest.raises(SnapshotError):
+            store.activate("snap-doesnotexist")
+
+    def test_no_staging_leftovers(self, tmp_path, built):
+        tree, instance, variant = built
+        store = SnapshotStore(tmp_path)
+        store.save(tree, instance, variant)
+        assert not [p for p in tmp_path.iterdir() if "staging" in p.name]
+
+    def test_future_format_version_names_both_versions(self, tmp_path, built):
+        tree, instance, variant = built
+        store = SnapshotStore(tmp_path)
+        info = store.save(tree, instance, variant)
+        manifest = tmp_path / info.snapshot_id / "manifest.json"
+        payload = json.loads(manifest.read_text())
+        payload["format_version"] = SNAPSHOT_FORMAT_VERSION + 1
+        manifest.write_text(json.dumps(payload))
+        with pytest.raises(SnapshotError) as exc_info:
+            store.load()
+        message = str(exc_info.value)
+        assert str(SNAPSHOT_FORMAT_VERSION + 1) in message
+        assert str(SNAPSHOT_FORMAT_VERSION) in message
+        assert "newer" in message
+
+    def test_manifest_missing_field_rejected(self):
+        with pytest.raises(SnapshotError):
+            SnapshotInfo.from_dict(
+                {"format_version": SNAPSHOT_FORMAT_VERSION, "variant": "exact"}
+            )
+
+    def test_list_is_ordered_and_complete(self, tmp_path, built):
+        tree, instance, _ = built
+        store = SnapshotStore(tmp_path)
+        ids = {
+            store.save(tree, instance, Variant.threshold_jaccard(d)).snapshot_id
+            for d in (0.5, 0.6, 0.7)
+        }
+        listed = store.list()
+        assert {i.snapshot_id for i in listed} == ids
+        keys = [(i.created_at, i.snapshot_id) for i in listed]
+        assert keys == sorted(keys)
