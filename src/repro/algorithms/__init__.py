@@ -18,11 +18,17 @@ from repro.algorithms.condense import (
     remove_noncovered_items,
     remove_noncovering_categories,
 )
-from repro.algorithms.ctcr import CTCR, CTCRConfig, CTCRDiagnostics
+from repro.algorithms.ctcr import (
+    CTCR,
+    BuildReuse,
+    CTCRConfig,
+    CTCRDiagnostics,
+)
 from repro.algorithms.intermediate import add_intermediate_categories
 
 __all__ = [
     "BuildContext",
+    "BuildReuse",
     "CCT",
     "CCTConfig",
     "CTCR",

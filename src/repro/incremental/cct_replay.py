@@ -1,0 +1,121 @@
+"""Replay CCT embedding intersection counts across dataset versions.
+
+CCT's expensive stage packs the instance and counts all pairwise
+intersections; :mod:`repro.algorithms.cct_cache` already memoizes the
+sparse ``(n, sizes, ii, jj, counts)`` form per instance content, but a
+catalog delta changes the content key, so every new dataset version
+would recount from scratch. Intersection counts only depend on item
+sets, though — a delta leaves every surviving pair's count untouched.
+This module translates a cached entry through the old→new sid match:
+surviving pairs are re-indexed to the new instance's positions, pairs
+touching removed sets are dropped, and pairs touching added sets are
+counted directly (a churn-sized amount of work). The translated entry
+is seeded into the cache under the *new* instance's key, so the next
+CCT build over the new version hits immediately.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.cct_cache import EmbeddingCache, get_embedding_cache
+from repro.core.input_sets import OCTInstance
+from repro.incremental.delta import match_instances
+from repro.observability import get_tracer
+
+
+def replay_embedding_counts(
+    old_instance: OCTInstance,
+    new_instance: OCTInstance,
+    cache: EmbeddingCache | None = None,
+) -> bool:
+    """Seed the new instance's intersection counts from the old entry.
+
+    Returns True when an entry was seeded — i.e. the old instance's
+    counts were cached and the new instance's were not. The seeded
+    entry is exactly what a from-scratch
+    :meth:`~repro.core.bitset.BitsetUniverse.intersecting_pairs` run
+    over the new instance produces (pinned by the differential tests).
+    """
+    cache = cache if cache is not None else get_embedding_cache()
+    old_entry = cache.get(cache.key(old_instance))
+    if old_entry is None:
+        return False
+    new_key = cache.key(new_instance)
+    if cache.get(new_key) is not None:
+        return False  # already counted
+
+    match = match_instances(old_instance, new_instance)
+    old_pos = {q.sid: i for i, q in enumerate(old_instance.sets)}
+    new_pos = {q.sid: i for i, q in enumerate(new_instance.sets)}
+    n_old = len(old_instance.sets)
+    n_new = len(new_instance.sets)
+
+    # Old position -> new position (-1 for removed sets).
+    pos_map = np.full(n_old, -1, dtype=np.int64)
+    for old_sid, new_sid in match.renames.items():
+        pos_map[old_pos[old_sid]] = new_pos[new_sid]
+
+    _n, _sizes, iu, ju, counts = old_entry
+    mi = pos_map[iu]
+    mj = pos_map[ju]
+    keep = (mi >= 0) & (mj >= 0)
+    kept_i = np.minimum(mi[keep], mj[keep])
+    kept_j = np.maximum(mi[keep], mj[keep])
+    kept_counts = np.asarray(counts)[keep]
+
+    # Pairs with an added endpoint are counted directly — churn-sized.
+    added_pairs: dict[int, int] = {}  # key i*n+j -> count
+    if match.added:
+        index = new_instance.sets_containing()
+        for sid in sorted(match.added):
+            q = new_instance.get(sid)
+            pos = new_pos[sid]
+            partners: set[int] = set()
+            for item in q.items:
+                for other in index.get(item, ()):
+                    if other.sid != sid:
+                        partners.add(other.sid)
+            for partner in partners:
+                a, b = sorted((pos, new_pos[partner]))
+                key = a * n_new + b
+                if key in added_pairs:
+                    continue
+                added_pairs[key] = len(
+                    q.items & new_instance.get(partner).items
+                )
+
+    keys = np.concatenate(
+        [
+            kept_i * n_new + kept_j,
+            np.fromiter(added_pairs, dtype=np.int64, count=len(added_pairs)),
+        ]
+    )
+    all_counts = np.concatenate(
+        [
+            kept_counts.astype(np.int64),
+            np.fromiter(
+                added_pairs.values(), dtype=np.int64, count=len(added_pairs)
+            ),
+        ]
+    )
+    # intersecting_pairs returns pairs sorted by the i*n+j key.
+    order = np.argsort(keys)
+    keys = keys[order]
+    all_counts = all_counts[order]
+
+    sizes = np.fromiter(
+        (len(q.items) for q in new_instance.sets),
+        dtype=np.int64,
+        count=n_new,
+    )
+    entry = (
+        n_new,
+        sizes,
+        (keys // n_new).astype(np.int64),
+        (keys % n_new).astype(np.int64),
+        all_counts,
+    )
+    cache.put(new_key, entry)
+    get_tracer().count("incremental.cct_replayed")
+    return True

@@ -1,0 +1,145 @@
+"""Cross-process persistence of incremental build state.
+
+A :class:`~repro.incremental.builder.BuildState` normally lives in the
+process that built it; serving deployments restart, so the state is
+also persisted as a JSON sidecar next to the snapshot store —
+``<root>/incremental/<snapshot_id>.json``, keyed by the snapshot the
+build produced. ``repro build --delta-from <dir>`` loads the sidecar
+for the store's CURRENT snapshot and delta-builds against it.
+
+Writes follow the store's crash-safety discipline: serialize to a
+temporary file in the same directory, then ``os.replace`` — a crash
+mid-write leaves either the old sidecar or none, never a torn one.
+Loads verify the format marker and reconstruct the ranking from the
+persisted instance (rankings are deterministic, so recomputing beats
+serializing).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.conflicts.ranking import rank_sets
+from repro.conflicts.two_conflicts import PairwiseAnalysis
+from repro.core.exceptions import ReproError
+from repro.incremental.builder import BuildState
+from repro.io import instance_from_dict, instance_to_dict
+from repro.mis.cache import MISComponentCache
+from repro.serving.snapshot import variant_from_spec, variant_spec
+
+FORMAT = "incremental-state-v1"
+
+
+class StateFormatError(ReproError):
+    """A sidecar exists but cannot be interpreted."""
+
+
+class _IdentitySidMap(dict):
+    """sid -> sid; lets payload restore reuse the relabeling seeder."""
+
+    def __missing__(self, key):
+        return key
+
+
+def _analysis_to_dict(analysis: PairwiseAnalysis) -> dict:
+    def dump(pairs: set) -> list:
+        return [
+            [upper, lower, analysis.intersections[(upper, lower)]]
+            for upper, lower in sorted(pairs)
+        ]
+
+    return {
+        "conflicts": dump(analysis.conflicts),
+        "must_together": dump(analysis.must_together),
+        "can_separately": dump(analysis.can_separately),
+    }
+
+
+def _analysis_from_dict(payload: dict, ranking) -> PairwiseAnalysis:
+    analysis = PairwiseAnalysis(ranking=ranking)
+    for name, bucket in (
+        ("conflicts", analysis.conflicts),
+        ("must_together", analysis.must_together),
+        ("can_separately", analysis.can_separately),
+    ):
+        for upper, lower, shared in payload.get(name, []):
+            pair = (int(upper), int(lower))
+            bucket.add(pair)
+            analysis.intersections[pair] = int(shared)
+    return analysis
+
+
+class IncrementalStateStore:
+    """Sidecar files for build state, one per snapshot id."""
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+        self.dir = self.root / "incremental"
+
+    def path_for(self, snapshot_id: str) -> Path:
+        return self.dir / f"{snapshot_id}.json"
+
+    def has(self, snapshot_id: str) -> bool:
+        return self.path_for(snapshot_id).exists()
+
+    def save(self, snapshot_id: str, state: BuildState) -> Path:
+        payload = {
+            "format": FORMAT,
+            "snapshot_id": snapshot_id,
+            "fingerprint": state.fingerprint,
+            "variant": variant_spec(state.variant),
+            "full_build_wall_s": state.full_build_wall_s,
+            "instance": instance_to_dict(state.instance),
+            "analysis": _analysis_to_dict(state.analysis),
+            "triples": [list(tri) for tri in sorted(state.triples)],
+            "mis_payload": state.mis_cache.to_payload_dict(),
+        }
+        self.dir.mkdir(parents=True, exist_ok=True)
+        final = self.path_for(snapshot_id)
+        tmp = final.with_name(final.name + f".tmp-{os.getpid()}")
+        with open(tmp, "w") as f:
+            json.dump(payload, f, sort_keys=True)
+        os.replace(tmp, final)
+        return final
+
+    def load(self, snapshot_id: str) -> BuildState | None:
+        """The persisted state for a snapshot, or None when absent."""
+        path = self.path_for(snapshot_id)
+        if not path.exists():
+            return None
+        with open(path) as f:
+            payload = json.load(f)
+        if payload.get("format") != FORMAT:
+            raise StateFormatError(
+                f"{path}: unknown state format {payload.get('format')!r}"
+            )
+        instance = instance_from_dict(payload["instance"])
+        ranking = rank_sets(instance)
+        analysis = _analysis_from_dict(payload["analysis"], ranking)
+        triples = {tuple(tri) for tri in payload.get("triples", [])}
+        cache = MISComponentCache(keep_payloads=True)
+        mis_payload = payload.get("mis_payload", {})
+        identity = _IdentitySidMap()
+        knob_groups = {
+            tuple(entry["knobs"])
+            for entry in mis_payload.get("entries", [])
+        }
+        for node_budget, exact, max_exact in knob_groups:
+            cache.seed_from_payload(
+                mis_payload,
+                identity,
+                int(node_budget),
+                bool(exact),
+                int(max_exact),
+            )
+        return BuildState(
+            fingerprint=payload["fingerprint"],
+            variant=variant_from_spec(payload["variant"]),
+            instance=instance,
+            analysis=analysis,
+            triples=triples,
+            mis_cache=cache,
+            full_build_wall_s=float(payload["full_build_wall_s"]),
+        )

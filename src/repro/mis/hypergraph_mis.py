@@ -61,6 +61,12 @@ from repro.mis.hypergraph_reductions import (
 from repro.observability import get_tracer
 from repro.utils.parallel import parallel_map
 
+# Components at or below this size get the exact branch-and-bound;
+# larger ones fall to greedy. Exposed as a constant because the MIS
+# component-cache key includes it: cross-build seeding
+# (repro.incremental) must replay entries under identical knobs.
+DEFAULT_MAX_EXACT_COMPONENT = 2000
+
 Vertex = Hashable
 
 
@@ -312,7 +318,7 @@ def solve_hypergraph_mis(
     hg: WeightedHypergraph,
     node_budget: int = 50_000,
     exact: bool = True,
-    max_exact_component: int = 2000,
+    max_exact_component: int = DEFAULT_MAX_EXACT_COMPONENT,
     kernelize: bool = True,
     n_jobs: int = 1,
     cache: MISComponentCache | None = None,
@@ -367,7 +373,12 @@ def solve_hypergraph_mis(
         for (sub, key), solution in zip(pending, solutions):
             kernel_solution |= solution
             if cache is not None and key is not None:
-                cache.put(key, solution)
+                cache.put(
+                    key,
+                    solution,
+                    component=sub,
+                    knobs=(node_budget, exact, max_exact_component),
+                )
 
     if reduction is not None:
         return expand_solution(reduction, kernel_solution)

@@ -28,7 +28,9 @@ from repro.observability.tracer import NullTracer, Tracer
 # v2: ctcr.diag.mis_cache_{hits,misses} gauges and the mis.cache_* /
 # mis.kernel_removed counters from the kernelized MIS engine.
 # v3: cct.cache_{hits,misses} counters from CCT's embedding cache.
-SCHEMA_VERSION = 3
+# v4: incremental.* gauges/counters from delta rebuilds (dirty pairs,
+# reused/resolved MIS components, staging hits, delta vs full wall).
+SCHEMA_VERSION = 4
 
 try:  # pragma: no cover - resource is POSIX-only
     import resource

@@ -1,0 +1,162 @@
+"""Churn simulator: randomized delta sequences for the differential tier.
+
+Two levels of churn, matching the two levels the incremental pipeline
+operates on:
+
+* **instance-level** — :func:`random_delta` / :func:`delta_sequence`
+  produce :class:`~repro.incremental.CatalogDelta` objects (adds,
+  removes, reweights) against an :class:`~repro.core.input_sets.OCTInstance`.
+  These drive the conflict-graph maintenance differential: after every
+  step the delta-built tree must be byte-identical to a from-scratch
+  build of the churned instance.
+* **query-log-level** — :func:`churn_query_log` perturbs a synthetic
+  dataset's raw query log (new conjunction queries, dropped queries,
+  scaled daily counts), driving the staged-preprocess differential.
+
+This module is deliberately NOT named ``test_*`` — pytest must not
+collect it; the differential/property suites import from it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+
+from repro.catalog.queries import (
+    QueryLog,
+    RawQuery,
+    _conjunction_query,
+    _daily_counts,
+)
+from repro.core.input_sets import InputSet, OCTInstance
+from repro.incremental import CatalogDelta
+
+
+def random_delta(
+    instance: OCTInstance,
+    rng: random.Random,
+    frac: float = 0.1,
+    mix: tuple[float, float, float] = (1.0, 1.0, 1.0),
+    tag: str = "churn",
+) -> CatalogDelta:
+    """One randomized delta touching roughly ``frac`` of the sets.
+
+    ``mix`` weights the add/remove/reweight draw. Added sets sample
+    2-6 items from the instance universe and get fresh sids above the
+    current maximum; removals and reweights pick uniformly among the
+    surviving sets. Always returns a valid (possibly small) delta for
+    instances with at least one set.
+    """
+    sids = sorted(q.sid for q in instance.sets)
+    universe = sorted(instance.universe)
+    n_changes = max(1, round(frac * len(sids)))
+    next_sid = (max(sids) + 1) if sids else 0
+
+    added: list[InputSet] = []
+    removed: set[int] = set()
+    reweighted: dict[int, float] = {}
+    kinds = ("add", "remove", "reweight")
+    for _ in range(n_changes):
+        kind = rng.choices(kinds, weights=mix)[0]
+        live = [s for s in sids if s not in removed]
+        if kind == "add" or not live:
+            size = rng.randint(2, min(6, max(2, len(universe))))
+            items = frozenset(rng.sample(universe, size))
+            added.append(
+                InputSet(
+                    sid=next_sid,
+                    items=items,
+                    weight=round(rng.uniform(0.5, 20.0), 3),
+                    label=f"{tag}-{next_sid}",
+                )
+            )
+            next_sid += 1
+        elif kind == "remove":
+            sid = rng.choice(live)
+            removed.add(sid)
+            reweighted.pop(sid, None)
+        else:  # reweight
+            sid = rng.choice(live)
+            reweighted[sid] = round(rng.uniform(0.5, 20.0), 3)
+    return CatalogDelta(
+        added=tuple(added),
+        removed=frozenset(removed),
+        reweighted=tuple(sorted(reweighted.items())),
+    )
+
+
+def delta_sequence(
+    instance: OCTInstance,
+    rng: random.Random,
+    steps: int,
+    frac: float = 0.1,
+    mix: tuple[float, float, float] = (1.0, 1.0, 1.0),
+):
+    """Yield ``(delta, churned_instance)`` pairs for ``steps`` rounds.
+
+    Each delta is drawn against the previous round's instance, so the
+    sequence models sustained catalog churn rather than independent
+    perturbations of one snapshot.
+    """
+    current = instance
+    for step in range(steps):
+        delta = random_delta(
+            current, rng, frac=frac, mix=mix, tag=f"churn{step}"
+        )
+        delta.validate(current)
+        current = delta.apply(current)
+        yield delta, current
+
+
+def churn_query_log(dataset, rng: random.Random, frac: float = 0.05):
+    """A copy of ``dataset`` with roughly ``frac`` of its queries churned.
+
+    Mirrors real catalog drift: some queries disappear, some change
+    volume, and some brand-new conjunction queries appear (generated
+    with the same grammar the synthetic generator uses, so they are
+    answerable by the dataset's search engine). The product catalog and
+    engine are untouched — which is exactly the regime where the staged
+    ``ResultSetCache`` stays valid.
+    """
+    log = dataset.query_log
+    queries = list(log.queries)
+    existing = {q.text for q in queries}
+    n_changes = max(1, round(frac * len(queries)))
+    for _ in range(n_changes):
+        op = rng.choice(("add", "remove", "rescale"))
+        if op == "remove" and len(queries) > 1:
+            queries.pop(rng.randrange(len(queries)))
+        elif op == "rescale" and queries:
+            i = rng.randrange(len(queries))
+            q = queries[i]
+            factor = rng.uniform(0.3, 3.0)
+            counts = tuple(
+                max(0, round(c * factor)) for c in q.daily_counts
+            )
+            queries[i] = dataclasses.replace(q, daily_counts=counts)
+        else:  # add
+            text = None
+            for _attempt in range(20):
+                candidate = _conjunction_query(dataset.schema, rng)
+                if candidate not in existing:
+                    text = candidate
+                    break
+            if text is None:
+                continue  # grammar exhausted at this scale; skip
+            existing.add(text)
+            queries.append(
+                RawQuery(
+                    text=text,
+                    daily_counts=_daily_counts(
+                        rng.uniform(2.0, 60.0), log.days, rng
+                    ),
+                )
+            )
+    return dataclasses.replace(
+        dataset,
+        query_log=QueryLog(
+            queries=queries,
+            days=log.days,
+            trend_events=list(log.trend_events),
+        ),
+    )

@@ -1,0 +1,216 @@
+"""Differential tier: delta builds must equal from-scratch builds.
+
+Every assertion here has the same shape — run the incremental path over
+a randomized churn sequence and check it is *indistinguishable* from
+a cold rebuild at each step:
+
+* the delta-built tree is byte-identical (``tree_to_dict`` JSON) to a
+  from-scratch :class:`~repro.algorithms.CTCR` build of the churned
+  instance;
+* the maintained :class:`~repro.conflicts.two_conflicts.PairwiseAnalysis`
+  and 3-conflict set equal a full re-enumeration;
+* the staged preprocess of a churned dataset equals a cold preprocess;
+* a replayed CCT embedding-cache entry equals a from-scratch count.
+
+Long 200-step sequences are marked ``slow``; the fast tier keeps CI
+honest with shorter sequences over the same generators.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from tests.churn import churn_query_log, delta_sequence, random_delta
+from repro.algorithms import CTCR, CTCRConfig
+from repro.algorithms.cct_cache import EmbeddingCache
+from repro.conflicts.ranking import rank_sets
+from repro.conflicts.three_conflicts import compute_three_conflicts
+from repro.conflicts.two_conflicts import compute_pairwise
+from repro.core import Variant
+from repro.core.bitset import BitsetUniverse
+from repro.incremental import (
+    IncrementalBuilder,
+    ResultSetCache,
+    incremental_preprocess,
+    replay_embedding_counts,
+)
+from repro.io import instance_to_dict, tree_to_dict
+from repro.pipeline import preprocess
+
+VARIANTS = [
+    Variant.perfect_recall(0.6),
+    Variant.threshold_jaccard(0.8),
+    Variant.exact(),
+]
+
+
+def tree_json(tree) -> str:
+    return json.dumps(tree_to_dict(tree), sort_keys=True)
+
+
+def oracle_tree(instance, variant):
+    """From-scratch build with the same config the delta path uses."""
+    return CTCR(CTCRConfig()).build(instance, variant)
+
+
+def assert_analysis_matches(state, variant) -> None:
+    """The carried analysis/triples equal a full re-enumeration."""
+    fresh = compute_pairwise(
+        state.instance, variant, ranking=rank_sets(state.instance)
+    )
+    assert state.analysis.conflicts == fresh.conflicts
+    assert state.analysis.must_together == fresh.must_together
+    assert state.analysis.can_separately == fresh.can_separately
+    assert state.analysis.intersections == fresh.intersections
+    if not variant.is_exact:
+        assert state.triples == compute_three_conflicts(fresh)
+
+
+def run_differential(instance, variant, *, steps, frac, seed) -> None:
+    rng = random.Random(seed)
+    builder = IncrementalBuilder(CTCRConfig())
+    tree, state = builder.full_build(instance, variant)
+    assert tree_json(tree) == tree_json(oracle_tree(instance, variant))
+    for step, (_delta, churned) in enumerate(
+        delta_sequence(instance, rng, steps=steps, frac=frac)
+    ):
+        result = builder.delta_build(state, churned, variant)
+        state = result.state
+        expected = oracle_tree(churned, variant)
+        assert tree_json(result.tree) == tree_json(expected), (
+            f"delta tree diverged from full rebuild at step {step}"
+        )
+        assert_analysis_matches(state, variant)
+
+
+class TestInstanceChurnDifferential:
+    @pytest.mark.parametrize("variant", VARIANTS, ids=str)
+    def test_figure2_sequences(self, figure2_instance, variant):
+        run_differential(
+            figure2_instance, variant, steps=25, frac=0.3, seed=11
+        )
+
+    @pytest.mark.parametrize("variant", VARIANTS, ids=str)
+    def test_synthetic_sequences(self, tiny_dataset, variant):
+        instance, _report = preprocess(tiny_dataset, variant)
+        run_differential(instance, variant, steps=12, frac=0.15, seed=23)
+
+    def test_heavy_removal_mix(self, figure2_instance):
+        """Sequences dominated by removals shrink to near-empty and back."""
+        variant = Variant.perfect_recall(0.6)
+        rng = random.Random(5)
+        builder = IncrementalBuilder(CTCRConfig())
+        _tree, state = builder.full_build(figure2_instance, variant)
+        current = figure2_instance
+        for _ in range(20):
+            delta = random_delta(current, rng, frac=0.5, mix=(1, 3, 1))
+            current = delta.apply(current)
+            result = builder.delta_build(state, current, variant)
+            state = result.state
+            assert tree_json(result.tree) == tree_json(
+                oracle_tree(current, variant)
+            )
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize(
+        "variant",
+        [Variant.perfect_recall(0.6), Variant.threshold_jaccard(0.8)],
+        ids=str,
+    )
+    def test_long_randomized_sequences(self, tiny_dataset, variant):
+        """The acceptance-criteria tier: 200-step randomized sequences."""
+        instance, _report = preprocess(tiny_dataset, variant)
+        run_differential(instance, variant, steps=200, frac=0.1, seed=42)
+
+
+class TestPipelineChurnDifferential:
+    def test_staged_preprocess_equals_cold(self, tiny_dataset):
+        """Memoized re-preprocess is byte-identical to a cold run."""
+        variant = Variant.perfect_recall(0.6)
+        cache = ResultSetCache()
+        rng = random.Random(7)
+        dataset = tiny_dataset
+        # Warm the cache on the base dataset first, as a publish would.
+        staged, _ = incremental_preprocess(dataset, variant, cache)
+        cold, _ = preprocess(dataset, variant)
+        assert instance_to_dict(staged) == instance_to_dict(cold)
+        for _ in range(4):
+            dataset = churn_query_log(dataset, rng, frac=0.15)
+            staged, _ = incremental_preprocess(dataset, variant, cache)
+            cold, _ = preprocess(dataset, variant)
+            assert instance_to_dict(staged) == instance_to_dict(cold)
+        assert cache.hits > 0  # churn left most queries untouched
+
+    def test_staged_then_delta_build_equals_oracle(self, tiny_dataset):
+        """The full publish path: staged preprocess + delta build."""
+        variant = Variant.perfect_recall(0.6)
+        cache = ResultSetCache()
+        builder = IncrementalBuilder(CTCRConfig())
+        rng = random.Random(13)
+        instance, _ = incremental_preprocess(tiny_dataset, variant, cache)
+        _tree, state = builder.full_build(instance, variant)
+        dataset = tiny_dataset
+        for _ in range(3):
+            dataset = churn_query_log(dataset, rng, frac=0.2)
+            churned, _ = incremental_preprocess(dataset, variant, cache)
+            result = builder.delta_build(state, churned, variant)
+            state = result.state
+            assert tree_json(result.tree) == tree_json(
+                oracle_tree(churned, variant)
+            )
+
+
+class TestEmbeddingReplayDifferential:
+    def test_replayed_counts_equal_fresh_counts(self, figure2_instance):
+        import numpy as np
+
+        rng = random.Random(3)
+        cache = EmbeddingCache()
+        old = figure2_instance
+        # Populate the old entry exactly as CCT's packing stage does.
+        old_key = cache.key(old)
+        cache.put(old_key, _fresh_entry(old))
+        for _ in range(10):
+            delta = random_delta(old, rng, frac=0.4)
+            new = delta.apply(old)
+            if cache.key(new) == cache.key(old):
+                # Reweight-only delta: counts are weight-independent, so
+                # the old entry already covers the new instance.
+                assert not replay_embedding_counts(old, new, cache)
+                old = new
+                continue
+            assert replay_embedding_counts(old, new, cache)
+            replayed = cache.get(cache.key(new))
+            fresh = _fresh_entry(new)
+            assert replayed[0] == fresh[0]
+            for got, want in zip(replayed[1:], fresh[1:]):
+                np.testing.assert_array_equal(
+                    np.asarray(got), np.asarray(want)
+                )
+            old = new
+
+    def test_replay_is_a_noop_without_an_old_entry(self, figure2_instance):
+        cache = EmbeddingCache()
+        delta = random_delta(figure2_instance, random.Random(1), frac=0.3)
+        new = delta.apply(figure2_instance)
+        assert not replay_embedding_counts(figure2_instance, new, cache)
+
+    def test_replay_skips_already_cached_targets(self, figure2_instance):
+        cache = EmbeddingCache()
+        delta = random_delta(figure2_instance, random.Random(2), frac=0.3)
+        new = delta.apply(figure2_instance)
+        cache.put(cache.key(figure2_instance), _fresh_entry(figure2_instance))
+        cache.put(cache.key(new), _fresh_entry(new))
+        assert not replay_embedding_counts(figure2_instance, new, cache)
+
+
+def _fresh_entry(instance):
+    """What CCT's packing stage would cache for this instance."""
+    import numpy as np
+
+    universe = BitsetUniverse.from_instance(instance)
+    ii, jj, counts = universe.intersecting_pairs()
+    return (universe.n_sets, universe.sizes, ii, jj, counts)

@@ -1,0 +1,272 @@
+"""Property tier for incremental rebuilds (ISSUE satellites 1 and 3).
+
+The delta algebra and the build pipeline each carry a law:
+
+* **composition** — delta-building twice equals delta-building once
+  with the composed delta, equals a from-scratch build of the final
+  instance (``apply ∘ apply == apply ∘ compose``).
+* **identity** — the empty delta is a no-op: zero dirty pairs, zero
+  re-solved components, and an identical tree.
+* **weight sensitivity** (the cross-build invalidation edge): a
+  reweight-only delta changes MWIS inputs without changing any member
+  set, so cached MIS components whose weights changed must MISS — the
+  cache key is weight-inclusive by construction, and the regression
+  tests here pin both the key property and the end-to-end tree.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from tests.churn import delta_sequence, random_delta
+from repro.algorithms import CTCR, CTCRConfig
+from repro.core import Variant
+from repro.core.input_sets import InputSet
+from repro.incremental import (
+    CatalogDelta,
+    DeltaMismatchError,
+    IncrementalBuilder,
+    IncrementalStateStore,
+    InvalidDeltaError,
+)
+from repro.io import instance_to_dict, tree_to_dict
+from repro.mis.cache import MISComponentCache
+from repro.mis.hypergraph_mis import (
+    DEFAULT_MAX_EXACT_COMPONENT,
+    WeightedHypergraph,
+)
+
+VARIANT = Variant.perfect_recall(0.6)
+
+
+def tree_json(tree) -> str:
+    return json.dumps(tree_to_dict(tree), sort_keys=True)
+
+
+# ---------------------------------------------------------------------------
+# Delta algebra
+# ---------------------------------------------------------------------------
+
+
+class TestDeltaAlgebra:
+    def test_apply_compose_equivalence(self, figure2_instance):
+        rng = random.Random(31)
+        current = figure2_instance
+        for _ in range(15):
+            d1 = random_delta(current, rng, frac=0.4)
+            mid = d1.apply(current)
+            d2 = random_delta(mid, rng, frac=0.4)
+            composed = d1.compose(d2)
+            composed.validate(current)
+            assert instance_to_dict(composed.apply(current)) == (
+                instance_to_dict(d2.apply(mid))
+            )
+            current = d2.apply(mid)
+
+    def test_empty_delta_identity(self, figure2_instance):
+        empty = CatalogDelta()
+        assert empty.is_empty()
+        assert empty.num_changes == 0
+        assert instance_to_dict(empty.apply(figure2_instance)) == (
+            instance_to_dict(figure2_instance)
+        )
+
+    def test_round_trip_through_dict(self, figure2_instance):
+        rng = random.Random(17)
+        for _ in range(10):
+            delta = random_delta(figure2_instance, rng, frac=0.5)
+            assert CatalogDelta.from_dict(delta.to_dict()) == delta
+
+    def test_between_recovers_a_delta(self, figure2_instance):
+        delta = random_delta(figure2_instance, random.Random(9), frac=0.5)
+        churned = delta.apply(figure2_instance)
+        recovered = CatalogDelta.between(figure2_instance, churned)
+        assert instance_to_dict(recovered.apply(figure2_instance)) == (
+            instance_to_dict(churned)
+        )
+
+    def test_validation_rejects_unknown_removals(self, figure2_instance):
+        with pytest.raises(InvalidDeltaError, match="unknown sids"):
+            CatalogDelta(removed=frozenset({999})).validate(figure2_instance)
+
+    def test_validation_rejects_missing_reweights(self, figure2_instance):
+        with pytest.raises(InvalidDeltaError, match="missing or removed"):
+            CatalogDelta(reweighted=((999, 2.0),)).validate(figure2_instance)
+
+    def test_validation_rejects_reweight_of_removed(self, figure2_instance):
+        sid = figure2_instance.sets[0].sid
+        with pytest.raises(InvalidDeltaError, match="missing or removed"):
+            CatalogDelta(
+                removed=frozenset({sid}), reweighted=((sid, 2.0),)
+            ).validate(figure2_instance)
+
+    def test_validation_rejects_negative_weights(self, figure2_instance):
+        sid = figure2_instance.sets[0].sid
+        with pytest.raises(InvalidDeltaError, match="negative weight"):
+            CatalogDelta(reweighted=((sid, -1.0),)).validate(figure2_instance)
+
+    def test_validation_rejects_duplicate_adds(self, figure2_instance):
+        sid = figure2_instance.sets[0].sid
+        clash = InputSet(sid=sid, items=frozenset({"a", "b"}))
+        with pytest.raises(InvalidDeltaError, match="duplicate sid"):
+            CatalogDelta(added=(clash,)).validate(figure2_instance)
+
+
+# ---------------------------------------------------------------------------
+# Build composition (satellite 1)
+# ---------------------------------------------------------------------------
+
+
+class TestBuildComposition:
+    def test_chained_builds_equal_composed_build(self, figure2_instance):
+        """delta∘delta == delta-of-composed-delta == full build."""
+        rng = random.Random(41)
+        builder = IncrementalBuilder(CTCRConfig())
+        _tree, base_state = builder.full_build(figure2_instance, VARIANT)
+        for _ in range(8):
+            d1 = random_delta(figure2_instance, rng, frac=0.4)
+            mid = d1.apply(figure2_instance)
+            d2 = random_delta(mid, rng, frac=0.4)
+            final = d2.apply(mid)
+
+            step1 = builder.delta_build(base_state, mid, VARIANT)
+            chained = builder.delta_build(step1.state, final, VARIANT)
+
+            composed_instance = d1.compose(d2).apply(figure2_instance)
+            one_shot = builder.delta_build(
+                base_state, composed_instance, VARIANT
+            )
+            full = CTCR(CTCRConfig()).build(final, VARIANT)
+
+            assert tree_json(chained.tree) == tree_json(one_shot.tree)
+            assert tree_json(chained.tree) == tree_json(full)
+
+    def test_empty_delta_build_is_a_full_reuse_noop(self, figure2_instance):
+        builder = IncrementalBuilder(CTCRConfig())
+        tree, state = builder.full_build(figure2_instance, VARIANT)
+        result = builder.delta_build(
+            state, CatalogDelta().apply(figure2_instance), VARIANT
+        )
+        counters = result.counters
+        assert tree_json(result.tree) == tree_json(tree)
+        assert counters["incremental.sets_added"] == 0
+        assert counters["incremental.sets_removed"] == 0
+        assert counters["incremental.sets_reweighted"] == 0
+        assert counters["incremental.pairs_reclassified"] == 0
+        assert counters["incremental.pairs_added"] == 0
+        assert counters["incremental.pairs_dropped"] == 0
+        # 100% component reuse: nothing is re-solved.
+        assert counters["incremental.components_resolved"] == 0
+
+    def test_variant_mismatch_raises(self, figure2_instance):
+        builder = IncrementalBuilder(CTCRConfig())
+        _tree, state = builder.full_build(figure2_instance, VARIANT)
+        with pytest.raises(DeltaMismatchError):
+            builder.delta_build(
+                state, figure2_instance, Variant.threshold_jaccard(0.8)
+            )
+
+
+# ---------------------------------------------------------------------------
+# Reweight invalidation (satellite 3)
+# ---------------------------------------------------------------------------
+
+
+class TestReweightInvalidation:
+    def test_cache_key_includes_weights(self):
+        """Same member sets, different weights -> different cache keys."""
+        hg1 = WeightedHypergraph(
+            vertices=[0, 1],
+            weights={0: 1.0, 1: 2.0},
+            edges=[frozenset({0, 1})],
+        )
+        hg2 = WeightedHypergraph(
+            vertices=[0, 1],
+            weights={0: 2.0, 1: 1.0},
+            edges=[frozenset({0, 1})],
+        )
+        knobs = (60, False, DEFAULT_MAX_EXACT_COMPONENT)
+        assert MISComponentCache.key(hg1, *knobs) != (
+            MISComponentCache.key(hg2, *knobs)
+        )
+
+    def test_reweight_only_delta_resolves_its_component(
+        self, figure2_instance
+    ):
+        """A reweight that flips the MWIS winner must not reuse the
+        stale cached solution — regression for the cross-build
+        invalidation edge.
+
+        Under ``threshold_jaccard(0.8)`` figure2 yields one 3-conflict
+        component that survives kernelization into the MIS cache; an
+        empty delta reuses it (control below), while reweighting a
+        member must re-solve it even though every member set is
+        byte-identical.
+        """
+        variant = Variant.threshold_jaccard(0.8)
+        builder = IncrementalBuilder(CTCRConfig())
+        tree1, state = builder.full_build(figure2_instance, variant)
+        assert state.triples, "scenario needs a surviving 3-conflict"
+
+        # Control: no changes -> the cached component is reused.
+        control = builder.delta_build(state, figure2_instance, variant)
+        assert control.counters["incremental.components_reused"] >= 1
+        assert control.counters["incremental.components_resolved"] == 0
+
+        flip_sid = sorted(state.triples)[0][0]
+        delta = CatalogDelta(reweighted=((flip_sid, 50.0),))
+        delta.validate(figure2_instance)
+        churned = delta.apply(figure2_instance)
+
+        result = builder.delta_build(state, churned, variant)
+        oracle = CTCR(CTCRConfig()).build(churned, variant)
+        assert tree_json(result.tree) == tree_json(oracle)
+        # The winner flipped, so the trees genuinely differ...
+        assert tree_json(result.tree) != tree_json(tree1)
+        # ...because the reweighted component was re-solved, not reused.
+        assert result.counters["incremental.components_resolved"] >= 1
+        assert result.counters["incremental.components_reused"] == 0
+
+    def test_reweight_differential_over_sequences(self, figure2_instance):
+        """Reweight-only churn stays tree-identical to full rebuilds."""
+        rng = random.Random(67)
+        builder = IncrementalBuilder(CTCRConfig())
+        _tree, state = builder.full_build(figure2_instance, VARIANT)
+        for _, churned in delta_sequence(
+            figure2_instance, rng, steps=15, frac=0.5, mix=(0, 0, 1)
+        ):
+            result = builder.delta_build(state, churned, VARIANT)
+            state = result.state
+            oracle = CTCR(CTCRConfig()).build(churned, VARIANT)
+            assert tree_json(result.tree) == tree_json(oracle)
+
+
+# ---------------------------------------------------------------------------
+# State persistence
+# ---------------------------------------------------------------------------
+
+
+class TestStatePersistence:
+    def test_round_trip_preserves_delta_builds(self, tmp_path, figure2_instance):
+        builder = IncrementalBuilder(CTCRConfig())
+        _tree, state = builder.full_build(figure2_instance, VARIANT)
+        store = IncrementalStateStore(tmp_path)
+        store.save("snap-test", state)
+        loaded = store.load("snap-test")
+        assert loaded is not None
+        assert loaded.fingerprint == state.fingerprint
+        assert loaded.variant == state.variant
+        assert loaded.analysis.conflicts == state.analysis.conflicts
+        assert loaded.triples == state.triples
+
+        delta = random_delta(figure2_instance, random.Random(3), frac=0.4)
+        churned = delta.apply(figure2_instance)
+        from_loaded = builder.delta_build(loaded, churned, VARIANT)
+        from_live = builder.delta_build(state, churned, VARIANT)
+        assert tree_json(from_loaded.tree) == tree_json(from_live.tree)
+
+    def test_missing_sidecar_loads_as_none(self, tmp_path):
+        assert IncrementalStateStore(tmp_path).load("nope") is None
