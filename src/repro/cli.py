@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 from repro.algorithms import CCT, CCTConfig, CTCR, CTCRConfig
 from repro.algorithms.base import TreeBuilder
@@ -302,6 +303,19 @@ def cmd_serve(args) -> int:
 
     store = SnapshotStore(args.snapshot_dir) if args.snapshot_dir else None
     use_bitset = {"auto": None, "on": True, "off": False}[args.bitset]
+    if args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
+    if args.shards < 1:
+        print("error: --shards must be >= 1", file=sys.stderr)
+        return 2
+    if args.workers > 1 and store is None:
+        print(
+            "error: --workers > 1 requires --snapshot-dir (worker "
+            "processes coordinate through the store's CURRENT pointer)",
+            file=sys.stderr,
+        )
+        return 2
 
     if store is not None and store.current_id() is not None:
         loaded = store.load()
@@ -318,7 +332,7 @@ def cmd_serve(args) -> int:
         tree = builder.build(instance, variant)
         apply_label_suggestions(tree, suggest_labels(tree, instance, variant))
         if store is not None:
-            info = store.save(tree, instance, variant)
+            info = store.save(tree, instance, variant, flat_shards=args.shards)
             print(f"built and saved snapshot {info.snapshot_id}")
             engine = ServingEngine.from_snapshot(
                 store.load(info.snapshot_id),
@@ -329,11 +343,57 @@ def cmd_serve(args) -> int:
                 tree, instance, variant,
                 cache_size=args.cache_size, use_bitset=use_bitset,
             )
+
+    if args.workers > 1:
+        return _serve_multi(args, store)
     server = make_server(
         engine, host=args.host, port=args.port,
         store=store, max_requests=args.max_requests,
     )
     return _serve_loop(server, engine)
+
+
+def _serve_multi(args, store) -> int:
+    """Run N SO_REUSEPORT worker processes on one mmap'd snapshot."""
+    from repro.serving.supervisor import ServingSupervisor
+
+    use_bitset = {"auto": None, "on": True, "off": False}[args.bitset]
+    # Sharding is fixed at compile time; ensure the flat layout exists
+    # with the requested shard count before the workers map it.
+    paths = store.ensure_flat(store.current_id(), shards=args.shards)
+    supervisor = ServingSupervisor(
+        store,
+        n_workers=args.workers,
+        host=args.host,
+        port=args.port,
+        cache_size=args.cache_size,
+        use_bitset=use_bitset,
+        poll_interval=args.poll_interval,
+        max_requests=args.max_requests,
+    )
+    supervisor.start()
+    print(
+        f"serving on {supervisor.base_url} with {args.workers} workers "
+        f"(snapshot {store.current_id()}, {len(paths)} flat shard(s), "
+        f"pids {supervisor.pids()})",
+        flush=True,
+    )
+    try:
+        if args.max_requests is not None:
+            supervisor.join()
+        else:
+            while True:
+                time.sleep(3600)
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        pass
+    finally:
+        supervisor.stop()
+    gauges = supervisor.gauges()
+    print(
+        f"stopped {args.workers} workers "
+        f"({int(gauges['serving.workers.respawns'])} respawns)"
+    )
+    return 0
 
 
 def _serve_loop(server, engine) -> int:
@@ -553,6 +613,22 @@ def make_parser() -> argparse.ArgumentParser:
         "--max-requests", type=int, default=None, metavar="N",
         help="shut down after N requests (smoke tests and CI; "
         "default: serve forever)",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="serve from N worker processes sharing the port via "
+        "SO_REUSEPORT, each mmap-ing the snapshot's flat layout "
+        "(requires --snapshot-dir; default: 1, in-process)",
+    )
+    p_serve.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="split the flat snapshot's item data into N shard files "
+        "(category tree replicated per shard; default: 1)",
+    )
+    p_serve.add_argument(
+        "--poll-interval", type=float, default=0.25, metavar="SECONDS",
+        help="how often workers poll the store's CURRENT pointer for "
+        "hot swaps (default: 0.25)",
     )
     p_serve.set_defaults(func=cmd_serve)
 

@@ -30,7 +30,10 @@ from repro.observability.tracer import NullTracer, Tracer
 # v3: cct.cache_{hits,misses} counters from CCT's embedding cache.
 # v4: incremental.* gauges/counters from delta rebuilds (dirty pairs,
 # reused/resolved MIS components, staging hits, delta vs full wall).
-SCHEMA_VERSION = 4
+# v5: serving.workers.* gauges/counters from multi-process serving
+# (worker count, respawns, poll errors) and serving.flat_bytes from the
+# flat mmap snapshot compiler.
+SCHEMA_VERSION = 5
 
 try:  # pragma: no cover - resource is POSIX-only
     import resource

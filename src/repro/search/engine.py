@@ -42,7 +42,13 @@ class SearchEngine:
         tokens = tokenize(query)
         if not tokens:
             return []
-        weights = {token: self.index.idf(token) for token in set(tokens)}
+        # Sorted token order pins the float accumulation order, so
+        # relevance scores are identical across processes (string hashing
+        # is per-process randomized; set order is not) — the mmap label
+        # search in repro.serving.shm replicates this loop exactly.
+        weights = {
+            token: self.index.idf(token) for token in sorted(set(tokens))
+        }
         best_possible = sum(weights.values())
         if best_possible <= 0:
             return []

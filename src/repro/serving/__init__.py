@@ -6,9 +6,13 @@ read-optimized per-snapshot indexes (:mod:`repro.serving.indexes`), a
 thread-safe query engine with an LRU result cache
 (:mod:`repro.serving.engine`), atomic hot swaps of rebuilt trees
 (:mod:`repro.serving.hotswap`), a zero-dependency HTTP/JSON frontend
-(:mod:`repro.serving.http`, CLI: ``python -m repro serve``), and a
+(:mod:`repro.serving.http`, CLI: ``python -m repro serve``), a
 deterministic closed-loop load generator
-(:mod:`repro.serving.loadgen`, benchmark: ``benchmarks/bench_serving.py``).
+(:mod:`repro.serving.loadgen`, benchmark: ``benchmarks/bench_serving.py``),
+a versioned flat binary snapshot layout mapped read-only across worker
+processes (:mod:`repro.serving.shm`), and a multi-process SO_REUSEPORT
+supervisor serving it (:mod:`repro.serving.supervisor`, CLI:
+``python -m repro serve --workers N``).
 
 Quickstart::
 
@@ -30,13 +34,22 @@ from repro.serving.engine import (
 )
 from repro.serving.hotswap import HotSwapper
 from repro.serving.http import ServingHTTPServer, make_server, serve_in_background
-from repro.serving.indexes import BestCategory, SnapshotIndexes
+from repro.serving.indexes import BaseSnapshotIndexes, BestCategory, SnapshotIndexes
 from repro.serving.loadgen import (
     DEFAULT_MIX,
+    HttpLoadGenResult,
     LoadGenResult,
     Request,
     build_workload,
+    request_path,
+    run_http_loadgen,
     run_loadgen,
+)
+from repro.serving.shm import (
+    FLAT_FORMAT_VERSION,
+    MmapSnapshotIndexes,
+    compile_flat_indexes,
+    prepare_mmap_generation,
 )
 from repro.serving.snapshot import (
     SNAPSHOT_FORMAT_VERSION,
@@ -44,29 +57,42 @@ from repro.serving.snapshot import (
     SnapshotError,
     SnapshotInfo,
     SnapshotStore,
+    flat_file_name,
     variant_from_spec,
     variant_spec,
 )
+from repro.serving.supervisor import ServingSupervisor, WorkerConfig
 
 __all__ = [
+    "BaseSnapshotIndexes",
     "BestCategory",
     "DEFAULT_MIX",
+    "FLAT_FORMAT_VERSION",
     "Generation",
     "HotSwapper",
+    "HttpLoadGenResult",
     "LoadGenResult",
     "LoadedSnapshot",
+    "MmapSnapshotIndexes",
     "Request",
     "SNAPSHOT_FORMAT_VERSION",
     "ServingEngine",
     "ServingError",
     "ServingHTTPServer",
+    "ServingSupervisor",
     "SnapshotError",
     "SnapshotIndexes",
     "SnapshotInfo",
     "SnapshotStore",
+    "WorkerConfig",
     "build_workload",
+    "compile_flat_indexes",
+    "flat_file_name",
     "make_server",
     "prepare_generation",
+    "prepare_mmap_generation",
+    "request_path",
+    "run_http_loadgen",
     "run_loadgen",
     "serve_in_background",
     "variant_from_spec",

@@ -31,7 +31,7 @@ from repro.core.input_sets import OCTInstance
 from repro.core.tree import CategoryTree
 from repro.core.variants import Variant
 from repro.observability import get_tracer
-from repro.serving.indexes import BestCategory, SnapshotIndexes
+from repro.serving.indexes import BaseSnapshotIndexes, BestCategory, SnapshotIndexes
 from repro.serving.snapshot import LoadedSnapshot
 
 Item = Hashable
@@ -46,13 +46,17 @@ class Generation:
     """One immutable, queryable build of the category tree.
 
     ``number`` is assigned by :meth:`ServingEngine.publish` (monotonic,
-    starting at 1); before publication it is 0.
+    starting at 1); before publication it is 0. ``tree`` and
+    ``instance`` are None for mmap-backed generations
+    (:func:`repro.serving.shm.prepare_mmap_generation`): worker
+    processes never deserialize them — the indexes alone answer every
+    read op.
     """
 
-    tree: CategoryTree
-    instance: OCTInstance
+    tree: CategoryTree | None
+    instance: OCTInstance | None
     variant: Variant
-    indexes: SnapshotIndexes
+    indexes: BaseSnapshotIndexes
     snapshot_id: str = ""
     number: int = 0
     published_at: float = 0.0
@@ -140,6 +144,10 @@ class ServingEngine:
         self._stats_lock = threading.Lock()
         # deque.append is atomic; percentile readers copy a snapshot.
         self._latencies: deque[float] = deque(maxlen=latency_window)
+        # Per-thread record of the generation the last op *actually*
+        # used, so the HTTP layer can attribute each response exactly —
+        # a concurrent publish between compute and reply cannot skew it.
+        self._served = threading.local()
 
     # -- construction / swapping -------------------------------------------
 
@@ -211,6 +219,21 @@ class ServingEngine:
             raise ServingError("no generation published yet")
         return gen
 
+    def generation_info(self) -> tuple[int, str]:
+        """``(number, snapshot_id)`` of the serving generation, atomically."""
+        gen = self._gen
+        return (gen.number, gen.snapshot_id) if gen is not None else (0, "")
+
+    def pop_served_marker(self) -> tuple[int, str] | None:
+        """Take this thread's (generation, snapshot) attribution marker.
+
+        Set by every op to the generation that computed the answer;
+        popping clears it, so one marker attributes exactly one request.
+        """
+        marker = getattr(self._served, "marker", None)
+        self._served.marker = None
+        return marker
+
     # -- the request path ---------------------------------------------------
 
     def _serve(self, op: str, key, compute):
@@ -219,6 +242,7 @@ class ServingEngine:
         gen = self._gen  # one atomic read; the whole request uses it
         if gen is None:
             raise ServingError("no generation published yet")
+        self._served.marker = (gen.number, gen.snapshot_id)
         tracer = get_tracer()
         error = False
         try:

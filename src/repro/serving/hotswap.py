@@ -42,10 +42,18 @@ class HotSwapper:
     """Builds new generations for one engine and publishes them atomically."""
 
     def __init__(
-        self, engine: ServingEngine, use_bitset: bool | None = None
+        self,
+        engine: ServingEngine,
+        use_bitset: bool | None = None,
+        backend: str = "object",
     ) -> None:
+        if backend not in ("object", "mmap"):
+            raise ValueError(
+                f"backend must be 'object' or 'mmap', got {backend!r}"
+            )
         self.engine = engine
         self.use_bitset = use_bitset
+        self.backend = backend
         self._swap_lock = threading.Lock()  # serializes whole swaps
         # Carried between delta swaps; None until the first delta
         # rebuild bootstraps it with a full build.
@@ -56,7 +64,18 @@ class HotSwapper:
     def generation_from_store(
         self, store: SnapshotStore, snapshot_id: str | None = None
     ) -> Generation:
-        """Prepare (not publish) a generation from a stored snapshot."""
+        """Prepare (not publish) a generation from a stored snapshot.
+
+        With ``backend="mmap"`` the snapshot's flat layout is mapped
+        read-only instead of deserializing the JSON payloads — the
+        worker-process path (:mod:`repro.serving.supervisor`).
+        """
+        if self.backend == "mmap":
+            from repro.serving.shm import prepare_mmap_generation
+
+            return prepare_mmap_generation(
+                store, snapshot_id, use_bitset=self.use_bitset
+            )
         loaded = store.load(snapshot_id)
         return prepare_generation(
             loaded.tree,

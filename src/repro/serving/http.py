@@ -29,6 +29,7 @@ Errors: 400 on malformed parameters, 404 on unknown paths/cids, 409 when
 from __future__ import annotations
 
 import json
+import socket
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlsplit
@@ -43,7 +44,16 @@ class _BadRequest(Exception):
 
 
 class ServingHTTPServer(ThreadingHTTPServer):
-    """A threading HTTP server bound to one engine (and optional store)."""
+    """A threading HTTP server bound to one engine (and optional store).
+
+    With ``reuse_port`` the listening socket is bound with
+    ``SO_REUSEPORT``, so N worker processes share one port and the
+    kernel load-balances connections across them (see
+    :mod:`repro.serving.supervisor`). ``worker_id`` and the serving
+    generation are stamped on every response (``X-Repro-Worker``,
+    ``X-Repro-Generation``, ``X-Repro-Snapshot``), making each answer
+    attributable to exactly one worker and one generation.
+    """
 
     daemon_threads = True
 
@@ -54,15 +64,47 @@ class ServingHTTPServer(ThreadingHTTPServer):
         store: SnapshotStore | None = None,
         max_requests: int | None = None,
         quiet: bool = True,
+        reuse_port: bool = False,
+        worker_id: int | None = None,
+        backend: str = "object",
     ) -> None:
+        # server_bind runs inside super().__init__, so the bind options
+        # must be set first.
+        self.reuse_port = reuse_port
         super().__init__(address, _Handler)
         self.engine = engine
         self.store = store
-        self.swapper = HotSwapper(engine)
+        self.swapper = HotSwapper(engine, backend=backend)
         self.quiet = quiet
         self.max_requests = max_requests
+        self.worker_id = worker_id
         self._handled = 0
         self._handled_lock = threading.Lock()
+        self._serving_thread: threading.Thread | None = None
+
+    def server_bind(self) -> None:
+        if self.reuse_port:
+            # Python 3.11+ has allow_reuse_port; setting the option
+            # directly keeps 3.10 workers on the same code path.
+            self.socket.setsockopt(
+                socket.SOL_SOCKET, socket.SO_REUSEPORT, 1
+            )
+        super().server_bind()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Shut down, join the serving thread, and release the port.
+
+        Safe ordering for tests and supervisors: ``shutdown()`` stops
+        the accept loop, the join waits for :func:`serve_in_background`'s
+        thread to actually exit, and ``server_close()`` closes the
+        listening socket — on return the port is rebindable and no
+        serving thread is leaked.
+        """
+        self.shutdown()
+        thread = self._serving_thread
+        if thread is not None and thread.is_alive():
+            thread.join(timeout)
+        self.server_close()
 
     def note_request_handled(self) -> None:
         """Count a finished request; shut down at ``max_requests``."""
@@ -93,6 +135,18 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        # Attribution: the exact generation the op computed against
+        # (thread-local marker), falling back to the current one for
+        # endpoints that never touch the read path (healthz, errors).
+        marker = self.server.engine.pop_served_marker()
+        if marker is None:
+            marker = self.server.engine.generation_info()
+        number, snapshot_id = marker
+        self.send_header("X-Repro-Generation", str(number))
+        if snapshot_id:
+            self.send_header("X-Repro-Snapshot", snapshot_id)
+        if self.server.worker_id is not None:
+            self.send_header("X-Repro-Worker", str(self.server.worker_id))
         self.end_headers()
         self.wfile.write(body)
         self.server.note_request_handled()
@@ -118,6 +172,9 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
         route = urlsplit(self.path).path
+        # Keep-alive reuses this thread: drop any marker a previous
+        # request on the connection left behind.
+        self.server.engine.pop_served_marker()
         try:
             handler = {
                 "/healthz": self._get_healthz,
@@ -141,6 +198,7 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
         route = urlsplit(self.path).path
+        self.server.engine.pop_served_marker()
         try:
             if route != "/admin/swap":
                 self._reply(404, {"error": f"unknown path {route!r}"})
@@ -274,22 +332,34 @@ def make_server(
     store: SnapshotStore | None = None,
     max_requests: int | None = None,
     quiet: bool = True,
+    reuse_port: bool = False,
+    worker_id: int | None = None,
+    backend: str = "object",
 ) -> ServingHTTPServer:
     """Bind a serving HTTP server (``port=0`` picks a free port).
 
     The caller drives it: ``serve_forever()`` inline, or on a thread via
     :func:`serve_in_background`. The bound port is ``server.server_port``.
+    ``backend="mmap"`` makes ``/admin/swap`` reload snapshots through the
+    flat mmap layout instead of deserializing them.
     """
     return ServingHTTPServer(
         (host, port), engine, store=store,
         max_requests=max_requests, quiet=quiet,
+        reuse_port=reuse_port, worker_id=worker_id, backend=backend,
     )
 
 
 def serve_in_background(server: ServingHTTPServer) -> threading.Thread:
-    """Run ``server.serve_forever()`` on a daemon thread; returns it."""
+    """Run ``server.serve_forever()`` on a daemon thread; returns it.
+
+    The thread is remembered on the server so :meth:`ServingHTTPServer.
+    stop` can join it — shutdown, join, close, port released, no leaked
+    listener between test cases.
+    """
     thread = threading.Thread(
         target=server.serve_forever, name="repro-serving-http", daemon=True
     )
+    server._serving_thread = thread
     thread.start()
     return thread

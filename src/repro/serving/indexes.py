@@ -50,7 +50,82 @@ class BestCategory:
     depth: int
 
 
-class SnapshotIndexes:
+class BaseSnapshotIndexes:
+    """The backend-independent half of the snapshot read API.
+
+    Both the in-memory :class:`SnapshotIndexes` and the mmap-backed
+    :class:`repro.serving.shm.MmapSnapshotIndexes` inherit the scoring
+    loop and the path walk from here, so "bit-identical answers" is a
+    structural property — the two backends literally run the same
+    ``best_category`` code over their own ``intersection_counts`` /
+    ``sizes`` / ``depths`` / ``parent_of`` / ``label_of`` primitives.
+    """
+
+    variant: Variant
+    sizes: "object"  # cid -> |items| mapping (dict or flat-array view)
+    depths: "object"  # cid -> depth mapping
+    parent_of: "object"  # cid -> parent cid | None mapping
+
+    def label_of(self, cid: int) -> str:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def intersection_counts(
+        self, items: frozenset
+    ) -> dict[int, int]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def path_to_root(self, cid: int) -> list[int]:
+        """Root-to-``cid`` cid path, inclusive (pointer chase, no scan)."""
+        path = [cid]
+        parent = self.parent_of[cid]
+        while parent is not None:
+            path.append(parent)
+            parent = self.parent_of[parent]
+        path.reverse()
+        return path
+
+    def best_category(
+        self,
+        items: Iterable[Item],
+        variant: Variant | None = None,
+        delta: float | None = None,
+    ) -> BestCategory | None:
+        """The category scoring best against a query item set.
+
+        Scoring follows the offline reference bit for bit: the scalar
+        ``variant_score_from_sizes`` on each nonzero intersection, ties
+        broken towards higher precision, then greater depth, then lower
+        cid. Returns None when no category scores above zero (the query
+        is not covered by this tree under the variant).
+        """
+        variant = variant if variant is not None else self.variant
+        effective_delta = delta if delta is not None else variant.delta
+        q = items if isinstance(items, frozenset) else frozenset(items)
+        q_size = len(q)
+        best: BestCategory | None = None
+        for cid, common in self.intersection_counts(q).items():
+            c_size = self.sizes[cid]
+            score = variant_score_from_sizes(
+                variant, q_size, c_size, common, effective_delta
+            )
+            if score <= 0.0:
+                continue
+            precision = common / c_size if c_size else 0.0
+            depth = self.depths[cid]
+            if best is None or (score, precision, depth, -cid) > (
+                best.score, best.precision, best.depth, -best.cid
+            ):
+                best = BestCategory(
+                    cid=cid,
+                    label=self.label_of(cid),
+                    score=score,
+                    precision=precision,
+                    depth=depth,
+                )
+        return best
+
+
+class SnapshotIndexes(BaseSnapshotIndexes):
     """Immutable read-side indexes over one (tree, instance, variant)."""
 
     def __init__(
@@ -128,16 +203,6 @@ class SnapshotIndexes:
         cat = self.by_cid[cid]
         return cat.label or f"C{cat.cid}"
 
-    def path_to_root(self, cid: int) -> list[int]:
-        """Root-to-``cid`` cid path, inclusive (pointer chase, no scan)."""
-        path = [cid]
-        parent = self.parent_of[cid]
-        while parent is not None:
-            path.append(parent)
-            parent = self.parent_of[parent]
-        path.reverse()
-        return path
-
     def placements(self, item: Item) -> tuple[int, ...]:
         """The most-specific categories containing an item ('' when unknown)."""
         return self.item_placements.get(item, ())
@@ -174,43 +239,3 @@ class SnapshotIndexes:
         return {
             cid: counts[cid] for cid in self._cids if cid in counts
         }
-
-    def best_category(
-        self,
-        items: Iterable[Item],
-        variant: Variant | None = None,
-        delta: float | None = None,
-    ) -> BestCategory | None:
-        """The category scoring best against a query item set.
-
-        Scoring follows the offline reference bit for bit: the scalar
-        ``variant_score_from_sizes`` on each nonzero intersection, ties
-        broken towards higher precision, then greater depth, then lower
-        cid. Returns None when no category scores above zero (the query
-        is not covered by this tree under the variant).
-        """
-        variant = variant if variant is not None else self.variant
-        effective_delta = delta if delta is not None else variant.delta
-        q = items if isinstance(items, frozenset) else frozenset(items)
-        q_size = len(q)
-        best: BestCategory | None = None
-        for cid, common in self.intersection_counts(q).items():
-            c_size = self.sizes[cid]
-            score = variant_score_from_sizes(
-                variant, q_size, c_size, common, effective_delta
-            )
-            if score <= 0.0:
-                continue
-            precision = common / c_size if c_size else 0.0
-            depth = self.depths[cid]
-            if best is None or (score, precision, depth, -cid) > (
-                best.score, best.precision, best.depth, -best.cid
-            ):
-                best = BestCategory(
-                    cid=cid,
-                    label=self.label_of(cid),
-                    score=score,
-                    precision=precision,
-                    depth=depth,
-                )
-        return best

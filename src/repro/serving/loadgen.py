@@ -21,11 +21,14 @@ thread invokes the provided callable (typically
 
 from __future__ import annotations
 
+import http.client
 import random
+import socket
 import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Mapping, Sequence
+from urllib.parse import quote, urlsplit
 
 from repro.core.input_sets import OCTInstance
 from repro.core.tree import CategoryTree
@@ -283,6 +286,274 @@ def run_loadgen(
         per_op=per_op,
         generation_before=generation_before,
         generation_after=engine.generation,
+        swap_performed=swap_performed,
+        error_messages=all_failures[:20],
+    )
+
+
+# -- HTTP mode (multi-process serving) ---------------------------------------
+
+
+def request_path(request: Request) -> str:
+    """The HTTP path+query serving the same operation as :func:`_issue`."""
+    if request.op == "best_category":
+        items = ",".join(sorted(request.arg, key=str))
+        return f"/best-category?items={quote(items, safe='')}"
+    if request.op == "categorize":
+        return f"/categorize?item={quote(str(request.arg), safe='')}"
+    if request.op == "browse":
+        return f"/browse?cid={int(request.arg)}"
+    if request.op == "path":
+        return f"/path?cid={int(request.arg)}"
+    if request.op == "search":
+        return f"/search?q={quote(str(request.arg), safe='')}"
+    raise ValueError(f"unknown op {request.op!r}")
+
+
+@dataclass
+class HttpLoadGenResult:
+    """What a closed-loop HTTP run measured, per worker and generation.
+
+    ``per_worker`` / ``per_generation`` / ``per_snapshot`` tally the
+    ``X-Repro-*`` attribution headers, so a multi-worker run can assert
+    kernel-level balance (no worker starved) and that every response
+    came from a known generation — the cross-process consistency tier's
+    raw evidence.
+    """
+
+    n_requests: int
+    n_connections: int
+    errors: int
+    retries: int
+    wall_s: float
+    throughput_rps: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    mean_ms: float
+    max_ms: float
+    per_worker: dict[str, int] = field(default_factory=dict)
+    per_generation: dict[str, int] = field(default_factory=dict)
+    per_snapshot: dict[str, int] = field(default_factory=dict)
+    swap_performed: bool = False
+    error_messages: list[str] = field(default_factory=list)
+
+    def worker_shares(self) -> dict[str, float]:
+        """Fraction of responses answered by each worker."""
+        total = sum(self.per_worker.values())
+        if not total:
+            return {}
+        return {w: n / total for w, n in self.per_worker.items()}
+
+    def min_fair_share_ratio(self) -> float:
+        """Smallest worker share relative to a perfectly fair 1/N split.
+
+        1.0 is perfect balance; the supervisor tests assert >= 0.1
+        (no worker below 10% of its fair share).
+        """
+        shares = self.worker_shares()
+        if not shares:
+            return 0.0
+        fair = 1.0 / len(shares)
+        return min(shares.values()) / fair
+
+    def to_dict(self) -> dict:
+        return {
+            "n_requests": self.n_requests,
+            "n_connections": self.n_connections,
+            "errors": self.errors,
+            "retries": self.retries,
+            "wall_s": self.wall_s,
+            "throughput_rps": self.throughput_rps,
+            "latency_ms": {
+                "p50": self.p50_ms,
+                "p95": self.p95_ms,
+                "p99": self.p99_ms,
+                "mean": self.mean_ms,
+                "max": self.max_ms,
+            },
+            "per_worker": dict(sorted(self.per_worker.items())),
+            "per_generation": dict(sorted(self.per_generation.items())),
+            "per_snapshot": dict(sorted(self.per_snapshot.items())),
+            "min_fair_share_ratio": self.min_fair_share_ratio(),
+            "swap_performed": self.swap_performed,
+        }
+
+
+# Connection-level failures worth a reconnect+retry: a worker that was
+# kill -9'd mid-response, a connection the kernel routed to a dying
+# worker, or a stale keep-alive socket.
+_RETRYABLE = (
+    ConnectionError,
+    http.client.HTTPException,
+    socket.timeout,
+    TimeoutError,
+    OSError,
+)
+
+
+def run_http_loadgen(
+    base_url: str,
+    workload: Sequence[Request],
+    n_connections: int = 4,
+    swap_at: float | None = None,
+    swap: Callable[[], object] | None = None,
+    max_retries: int = 5,
+    timeout: float = 30.0,
+) -> HttpLoadGenResult:
+    """Drive a workload over HTTP with persistent connections.
+
+    Each of ``n_connections`` threads holds one keep-alive connection —
+    SO_REUSEPORT balances *connections*, not requests, so balance
+    assertions need ``n_connections`` comfortably above the worker
+    count. Connection-level failures (a killed worker, a torn socket)
+    are retried on a fresh connection up to ``max_retries`` times and
+    counted in ``retries``; only exhausted retries and non-200 statuses
+    count as ``errors``. ``swap_at``/``swap`` fire a mid-run publish
+    exactly like :func:`run_loadgen`.
+    """
+    parts = urlsplit(base_url)
+    host, port = parts.hostname, parts.port
+    if host is None or port is None:
+        raise ValueError(f"base_url must be http://host:port, got {base_url!r}")
+
+    n_connections = max(1, n_connections)
+    shares = [list(workload[w::n_connections]) for w in range(n_connections)]
+    latencies: list[list[float]] = [[] for _ in range(n_connections)]
+    failures: list[list[str]] = [[] for _ in range(n_connections)]
+    retries = [0] * n_connections
+    completed = [0] * n_connections
+    per_worker: list[dict[str, int]] = [{} for _ in range(n_connections)]
+    per_generation: list[dict[str, int]] = [{} for _ in range(n_connections)]
+    per_snapshot: list[dict[str, int]] = [{} for _ in range(n_connections)]
+    start_barrier = threading.Barrier(n_connections + 1)
+
+    def fetch(conn_box: list, path: str) -> tuple[int, dict[str, str]]:
+        """One GET over the held connection, reconnecting on demand."""
+        if conn_box[0] is None:
+            conn_box[0] = http.client.HTTPConnection(host, port, timeout=timeout)
+        conn = conn_box[0]
+        try:
+            conn.request("GET", path)
+            response = conn.getresponse()
+            response.read()  # drain so the connection can be reused
+            return response.status, {
+                k: v for k, v in response.getheaders()
+            }
+        except _RETRYABLE:
+            # The socket is in an unknown state; drop it so the next
+            # attempt dials fresh (the kernel will pick a live worker).
+            try:
+                conn.close()
+            finally:
+                conn_box[0] = None
+            raise
+
+    def worker(w: int) -> None:
+        conn_box: list = [None]
+        start_barrier.wait()
+        for request in shares[w]:
+            path = request_path(request)
+            t0 = time.perf_counter()
+            status = None
+            headers: dict[str, str] = {}
+            for attempt in range(max_retries + 1):
+                try:
+                    status, headers = fetch(conn_box, path)
+                    break
+                except _RETRYABLE as exc:
+                    if attempt == max_retries:
+                        failures[w].append(
+                            f"{request.op}: {type(exc).__name__}: {exc}"
+                        )
+                    else:
+                        retries[w] += 1
+            latencies[w].append(time.perf_counter() - t0)
+            completed[w] += 1
+            if status is None:
+                continue
+            if status != 200:
+                failures[w].append(f"{request.op}: HTTP {status}")
+                continue
+            wid = headers.get("X-Repro-Worker")
+            if wid is not None:
+                per_worker[w][wid] = per_worker[w].get(wid, 0) + 1
+            gen = headers.get("X-Repro-Generation")
+            if gen is not None:
+                per_generation[w][gen] = per_generation[w].get(gen, 0) + 1
+            snap = headers.get("X-Repro-Snapshot")
+            if snap is not None:
+                per_snapshot[w][snap] = per_snapshot[w].get(snap, 0) + 1
+        conn = conn_box[0]
+        if conn is not None:
+            conn.close()
+
+    threads = [
+        threading.Thread(target=worker, args=(w,), daemon=True)
+        for w in range(n_connections)
+    ]
+    for t in threads:
+        t.start()
+
+    swap_performed = False
+    swap_error: str | None = None
+    swap_thread: threading.Thread | None = None
+    if swap is not None and swap_at is not None:
+        threshold = max(1, int(len(workload) * swap_at))
+
+        def coordinator() -> None:
+            nonlocal swap_performed, swap_error
+            while sum(completed) < threshold and any(
+                t.is_alive() for t in threads
+            ):
+                time.sleep(0.001)
+            try:
+                swap()
+                swap_performed = True
+            except Exception as exc:  # pragma: no cover - surfaced in result
+                swap_error = f"swap: {type(exc).__name__}: {exc}"
+
+        swap_thread = threading.Thread(target=coordinator, daemon=True)
+        swap_thread.start()
+
+    start_barrier.wait()
+    t_start = time.perf_counter()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - t_start
+    if swap_thread is not None:
+        swap_thread.join()
+
+    all_latencies = sorted(x for per in latencies for x in per)
+    all_failures = [msg for per in failures for msg in per]
+    if swap_error is not None:
+        all_failures.append(swap_error)
+
+    def merged(tallies: list[dict[str, int]]) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for tally in tallies:
+            for key, count in tally.items():
+                out[key] = out.get(key, 0) + count
+        return out
+
+    return HttpLoadGenResult(
+        n_requests=len(workload),
+        n_connections=n_connections,
+        errors=len(all_failures),
+        retries=sum(retries),
+        wall_s=wall,
+        throughput_rps=len(workload) / wall if wall > 0 else 0.0,
+        p50_ms=percentile(all_latencies, 0.50) * 1000.0,
+        p95_ms=percentile(all_latencies, 0.95) * 1000.0,
+        p99_ms=percentile(all_latencies, 0.99) * 1000.0,
+        mean_ms=(
+            sum(all_latencies) / len(all_latencies) * 1000.0
+            if all_latencies else 0.0
+        ),
+        max_ms=all_latencies[-1] * 1000.0 if all_latencies else 0.0,
+        per_worker=merged(per_worker),
+        per_generation=merged(per_generation),
+        per_snapshot=merged(per_snapshot),
         swap_performed=swap_performed,
         error_messages=all_failures[:20],
     )

@@ -48,6 +48,12 @@ _MANIFEST = "manifest.json"
 _TREE = "tree.json"
 _INSTANCE = "instance.json"
 _CURRENT = "CURRENT"
+_FLAT_GLOB = "indexes-*.flat"
+
+
+def flat_file_name(shard_index: int, shard_count: int) -> str:
+    """The shard file name inside a snapshot dir (sorts in shard order)."""
+    return f"indexes-{shard_index:04d}-of-{shard_count:04d}.flat"
 
 
 class SnapshotError(ReproError):
@@ -204,6 +210,7 @@ class SnapshotStore:
         variant: Variant,
         build_run_id: str = "",
         activate: bool = True,
+        flat_shards: int = 1,
     ) -> SnapshotInfo:
         """Persist a built tree as a snapshot; returns its manifest.
 
@@ -211,6 +218,12 @@ class SnapshotStore:
         here so every snapshot records how good it was at build time.
         Saving content that already exists is a no-op (same id); with
         ``activate`` (the default) the snapshot also becomes ``CURRENT``.
+
+        ``flat_shards`` also compiles the mmap-able flat layout
+        (:mod:`repro.serving.shm`) into the staged directory, split into
+        that many item shards, so the snapshot publishes atomically with
+        both formats; ``flat_shards=0`` skips it (the flat files are
+        then compiled on first mmap use via :meth:`ensure_flat`).
         """
         tree_payload = tree_to_dict(tree)
         instance_payload = instance_to_dict(instance)
@@ -243,6 +256,8 @@ class SnapshotStore:
                         json.dumps(payload, indent=2, sort_keys=True) + "\n",
                         encoding="utf-8",
                     )
+                if flat_shards > 0:
+                    self._write_flat(staging, tree_payload, flat_shards)
                 try:
                     os.replace(staging, target)
                 except OSError:  # pragma: no cover - concurrent save race
@@ -256,6 +271,67 @@ class SnapshotStore:
         if activate:
             self.activate(snapshot_id)
         return self.info(snapshot_id)
+
+    def _write_flat(
+        self, directory: Path, tree_payload: dict, shards: int
+    ) -> list[Path]:
+        """Compile and write the flat shard files into a snapshot dir.
+
+        Compiles from the *round-tripped* tree (the JSON payload a later
+        reload would see) so the mmap read path answers exactly what a
+        reloaded in-memory :class:`~repro.serving.indexes.SnapshotIndexes`
+        would. Each file lands via write-to-temp + ``os.replace``, so a
+        concurrent compiler (two workers racing :meth:`ensure_flat`)
+        just overwrites identical content.
+        """
+        from repro.serving.indexes import SnapshotIndexes
+        from repro.serving.shm import compile_flat_indexes
+
+        # The variant only stamps the header; read it back from the
+        # manifest when present (staging writes pass the payloads).
+        manifest = json.loads(
+            (directory / _MANIFEST).read_text(encoding="utf-8")
+        )
+        variant = variant_from_spec(manifest["variant"])
+        tree = tree_from_dict(tree_payload)
+        instance = instance_from_dict(
+            json.loads((directory / _INSTANCE).read_text(encoding="utf-8"))
+        )
+        indexes = SnapshotIndexes(tree, instance, variant, use_bitset=False)
+        paths: list[Path] = []
+        for shard_index, blob in enumerate(
+            compile_flat_indexes(indexes, shards=shards)
+        ):
+            path = directory / flat_file_name(shard_index, shards)
+            tmp = directory / f".{path.name}.tmp-{os.getpid()}"
+            tmp.write_bytes(blob)
+            os.replace(tmp, path)
+            paths.append(path)
+        return paths
+
+    def flat_paths(self, snapshot_id: str) -> list[Path]:
+        """The snapshot's flat shard files, sorted (empty when absent)."""
+        return sorted((self.root / snapshot_id).glob(_FLAT_GLOB))
+
+    def ensure_flat(self, snapshot_id: str, shards: int = 1) -> list[Path]:
+        """The flat shard files, compiling them first when missing.
+
+        Lets worker processes mmap snapshots written before the flat
+        layout existed (or saved with ``flat_shards=0``): the compile is
+        idempotent and each file is published atomically, so concurrent
+        workers race harmlessly. An existing flat set is returned as-is
+        whatever its shard count — sharding is fixed at compile time.
+        """
+        existing = self.flat_paths(snapshot_id)
+        if existing:
+            return existing
+        directory = self.root / snapshot_id
+        if not (directory / _MANIFEST).exists():
+            raise SnapshotError(f"no snapshot {snapshot_id!r} in {self.root}")
+        tree_payload = json.loads(
+            (directory / _TREE).read_text(encoding="utf-8")
+        )
+        return self._write_flat(directory, tree_payload, shards)
 
     def activate(self, snapshot_id: str) -> None:
         """Point ``CURRENT`` at an existing snapshot (atomic replace)."""

@@ -1,0 +1,303 @@
+"""Multi-process serving: N SO_REUSEPORT workers over one mmap snapshot.
+
+The single-process tier keeps every read under one GIL; this supervisor
+runs N worker *processes* instead, each a full
+:class:`~repro.serving.http.ServingHTTPServer` bound to the same
+host:port with ``SO_REUSEPORT`` — the kernel load-balances connections
+across the workers, no userspace proxy. Every worker maps the same
+read-only flat snapshot (:mod:`repro.serving.shm`), so the indexes
+exist once in the page cache no matter how many workers serve them.
+
+Generation flips stay coordinated through the store's ``CURRENT``
+pointer, exactly like the single-process tier: a publisher (any
+process) saves + activates a snapshot, and each worker's poller thread
+notices the pointer change and hot-swaps its engine through the mmap
+backend. Between the publish and the last worker's poll tick, requests
+are answered by *either* the old or the new generation — never a torn
+mix — and every response says which via its ``X-Repro-Snapshot`` /
+``X-Repro-Generation`` headers (the cross-process consistency tests
+assert exactly that).
+
+The parent process never serves; it watches its children and respawns
+any that die (crash, ``kill -9``) unless the supervisor is stopping.
+Worker liveness and respawn counts are exported as
+``serving.workers.*`` gauges (manifest schema v5).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import signal
+import socket
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.observability import get_tracer
+from repro.serving.engine import ServingEngine
+from repro.serving.http import make_server
+from repro.serving.shm import prepare_mmap_generation
+from repro.serving.snapshot import SnapshotError, SnapshotStore
+
+
+@dataclass(frozen=True)
+class WorkerConfig:
+    """Everything a worker process needs (picklable for spawn starts)."""
+
+    store_root: str
+    host: str
+    port: int
+    cache_size: int = 4096
+    use_bitset: bool | None = None
+    poll_interval: float = 0.25
+    quiet: bool = True
+    max_requests: int | None = None
+
+
+def _poll_current(server, store: SnapshotStore, interval: float) -> None:
+    """Worker poller: follow the store's CURRENT pointer, flip on change."""
+    while True:
+        time.sleep(interval)
+        try:
+            current = store.current_id()
+            if current is None:
+                continue
+            _, serving = server.engine.generation_info()
+            if current != serving:
+                server.swapper.swap_from_store(store, current)
+        except Exception:
+            # A half-published snapshot or racing compile: retry on the
+            # next tick; the engine keeps serving its generation.
+            get_tracer().count("serving.workers.poll_errors")
+
+
+def _worker_main(config: WorkerConfig, worker_id: int, ready) -> None:
+    """One worker process: mmap the CURRENT snapshot and serve it."""
+    # A clean SIGTERM exit keeps 'supervisor.stop()' quiet; anything
+    # harder (SIGKILL) is what the watchdog respawn path is for.
+    signal.signal(signal.SIGTERM, lambda *_: os._exit(0))
+    store = SnapshotStore(config.store_root)
+    engine = ServingEngine(cache_size=config.cache_size)
+    engine.publish(
+        prepare_mmap_generation(store, use_bitset=config.use_bitset)
+    )
+    server = make_server(
+        engine,
+        host=config.host,
+        port=config.port,
+        store=store,
+        max_requests=config.max_requests,
+        quiet=config.quiet,
+        reuse_port=True,
+        worker_id=worker_id,
+        backend="mmap",
+    )
+    threading.Thread(
+        target=_poll_current,
+        args=(server, store, config.poll_interval),
+        name="repro-serving-poll",
+        daemon=True,
+    ).start()
+    ready.set()  # the socket is bound + listening; flag readiness
+    try:
+        server.serve_forever()
+    finally:
+        server.server_close()
+
+
+def _free_port(host: str) -> int:
+    """Reserve-and-release a free TCP port on ``host``."""
+    probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    try:
+        probe.bind((host, 0))
+        return probe.getsockname()[1]
+    finally:
+        probe.close()
+
+
+class ServingSupervisor:
+    """Fork, watch, and respawn N SO_REUSEPORT serving workers."""
+
+    def __init__(
+        self,
+        store: SnapshotStore | str | os.PathLike,
+        n_workers: int = 2,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        cache_size: int = 4096,
+        use_bitset: bool | None = None,
+        poll_interval: float = 0.25,
+        quiet: bool = True,
+        max_requests: int | None = None,
+        start_method: str | None = None,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        self.store = (
+            store if isinstance(store, SnapshotStore) else SnapshotStore(store)
+        )
+        self.n_workers = n_workers
+        self.host = host
+        self.port = port  # 0 -> resolved by start()
+        self.cache_size = cache_size
+        self.use_bitset = use_bitset
+        self.poll_interval = poll_interval
+        self.quiet = quiet
+        self.max_requests = max_requests
+        if start_method is None:
+            methods = mp.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else "spawn"
+        self._ctx = mp.get_context(start_method)
+        self._procs: list = [None] * n_workers
+        self._events: list = [None] * n_workers
+        self.respawns = 0
+        self._stopping = threading.Event()
+        self._watchdog: threading.Thread | None = None
+        self._lock = threading.Lock()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self, ready_timeout: float = 60.0) -> "ServingSupervisor":
+        """Resolve the port, spawn every worker, wait until all serve."""
+        if self.store.current_id() is None:
+            raise SnapshotError(
+                f"no current snapshot in {self.store.root}; publish one "
+                "before starting workers"
+            )
+        if self.port == 0:
+            # SO_REUSEPORT needs one concrete port for every worker; a
+            # reserve-and-release probe picks it (the tiny window before
+            # the first worker binds is test-only surface).
+            self.port = _free_port(self.host)
+        for worker_id in range(self.n_workers):
+            self._spawn(worker_id)
+        self.wait_ready(ready_timeout)
+        self._watchdog = threading.Thread(
+            target=self._watch, name="repro-serving-watchdog", daemon=True
+        )
+        self._watchdog.start()
+        self._gauge()
+        return self
+
+    def _config(self) -> WorkerConfig:
+        return WorkerConfig(
+            store_root=str(self.store.root),
+            host=self.host,
+            port=self.port,
+            cache_size=self.cache_size,
+            use_bitset=self.use_bitset,
+            poll_interval=self.poll_interval,
+            quiet=self.quiet,
+            max_requests=self.max_requests,
+        )
+
+    def _spawn(self, worker_id: int) -> None:
+        event = self._ctx.Event()
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(self._config(), worker_id, event),
+            name=f"repro-serving-worker-{worker_id}",
+            daemon=True,
+        )
+        proc.start()
+        self._procs[worker_id] = proc
+        self._events[worker_id] = event
+
+    def wait_ready(self, timeout: float = 60.0) -> None:
+        """Block until every worker has bound its socket (or raise)."""
+        deadline = time.monotonic() + timeout
+        for worker_id, event in enumerate(self._events):
+            remaining = deadline - time.monotonic()
+            if remaining <= 0 or not event.wait(remaining):
+                raise SnapshotError(
+                    f"worker {worker_id} did not become ready within "
+                    f"{timeout:.0f}s"
+                )
+
+    def _watch(self) -> None:
+        """Respawn dead workers until the supervisor stops.
+
+        With ``max_requests`` set, workers exiting after their request
+        budget is the *expected* end state, so the watchdog only
+        observes — it never respawns.
+        """
+        while not self._stopping.is_set():
+            for worker_id, proc in enumerate(self._procs):
+                if proc is None or proc.is_alive():
+                    continue
+                if self._stopping.is_set() or self.max_requests is not None:
+                    continue
+                proc.join()
+                with self._lock:
+                    self.respawns += 1
+                get_tracer().count("serving.workers.respawned")
+                self._spawn(worker_id)
+                self._gauge()
+            self._stopping.wait(0.1)
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Terminate every worker and join them; idempotent."""
+        self._stopping.set()
+        if self._watchdog is not None and self._watchdog.is_alive():
+            self._watchdog.join(timeout)
+        for proc in self._procs:
+            if proc is not None and proc.is_alive():
+                proc.terminate()
+        deadline = time.monotonic() + timeout
+        for proc in self._procs:
+            if proc is None:
+                continue
+            proc.join(max(0.0, deadline - time.monotonic()))
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.kill()
+                proc.join(1.0)
+        self._gauge()
+
+    def join(self) -> None:
+        """Wait for every worker to exit on its own (max_requests runs)."""
+        for proc in self._procs:
+            if proc is not None:
+                proc.join()
+
+    def __enter__(self) -> "ServingSupervisor":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def pids(self) -> list[int | None]:
+        return [p.pid if p is not None else None for p in self._procs]
+
+    def alive_count(self) -> int:
+        return sum(
+            1 for p in self._procs if p is not None and p.is_alive()
+        )
+
+    def kill_worker(self, worker_id: int, sig: int = signal.SIGKILL) -> int:
+        """Send a signal to one worker (crash injection); returns its pid."""
+        proc = self._procs[worker_id]
+        if proc is None or proc.pid is None:
+            raise ValueError(f"worker {worker_id} is not running")
+        pid = proc.pid
+        os.kill(pid, sig)
+        return pid
+
+    def _gauge(self) -> None:
+        tracer = get_tracer()
+        for name, value in self.gauges().items():
+            tracer.gauge(name, value)
+
+    def gauges(self) -> dict[str, float]:
+        """The ``serving.workers.*`` gauges (manifest schema v5)."""
+        return {
+            "serving.workers.count": self.alive_count(),
+            "serving.workers.configured": self.n_workers,
+            "serving.workers.respawns": self.respawns,
+        }

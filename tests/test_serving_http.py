@@ -1,6 +1,7 @@
 """Tests for the HTTP/JSON serving frontend (real sockets, port 0)."""
 
 import json
+import socket
 import urllib.error
 import urllib.request
 
@@ -41,8 +42,9 @@ def served(figure2_instance, tmp_path):
     server = make_server(engine, store=store)
     serve_in_background(server)
     yield server, engine, store, figure2_instance
-    server.shutdown()
-    server.server_close()
+    # stop() = shutdown + join the serving thread + close the socket, so
+    # the port is provably released before the next test binds.
+    server.stop()
 
 
 class TestReadEndpoints:
@@ -149,8 +151,7 @@ class TestErrorMapping:
         try:
             assert _post(server, "/admin/swap")[0] == 409
         finally:
-            server.shutdown()
-            server.server_close()
+            server.stop()
 
 
 class TestAdminSwap:
@@ -202,3 +203,94 @@ class TestMaxRequests:
             assert not thread.is_alive()
         finally:
             server.server_close()
+
+
+class TestShutdownOrdering:
+    def _serve_one(self, figure2_instance):
+        variant = Variant.threshold_jaccard(0.6)
+        tree = CTCR().build(figure2_instance, variant)
+        engine = ServingEngine.from_tree(tree, figure2_instance, variant)
+        server = make_server(engine)
+        thread = serve_in_background(server)
+        return server, thread
+
+    def test_stop_joins_thread_and_releases_port(self, figure2_instance):
+        server, thread = self._serve_one(figure2_instance)
+        port = server.server_port
+        assert _get(server, "/healthz")[0] == 200
+        server.stop()
+        assert not thread.is_alive()
+        # The port must be immediately rebindable — no TIME_WAIT listener,
+        # no leaked socket (SO_REUSEADDR is set by the server class, so a
+        # fresh bind on the same port proves the listener is gone).
+        probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        probe.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        try:
+            probe.bind(("127.0.0.1", port))
+        finally:
+            probe.close()
+
+    def test_stop_is_idempotent(self, figure2_instance):
+        server, _ = self._serve_one(figure2_instance)
+        server.stop()
+        server.stop()  # second stop must not raise or hang
+
+    def test_reuse_port_allows_second_binding(self, figure2_instance):
+        variant = Variant.threshold_jaccard(0.6)
+        tree = CTCR().build(figure2_instance, variant)
+        engine = ServingEngine.from_tree(tree, figure2_instance, variant)
+        first = make_server(engine, reuse_port=True)
+        second = make_server(
+            engine, port=first.server_port, reuse_port=True
+        )
+        try:
+            assert second.server_port == first.server_port
+        finally:
+            first.server_close()
+            second.server_close()
+
+
+class TestAttributionHeaders:
+    def test_generation_and_snapshot_headers(self, served):
+        server, engine, _, _ = served
+        url = f"http://127.0.0.1:{server.server_port}/browse"
+        with urllib.request.urlopen(url, timeout=10) as response:
+            assert response.headers["X-Repro-Generation"] == str(
+                engine.generation
+            )
+            assert response.headers["X-Repro-Snapshot"].startswith("snap-")
+            # Single-process servers have no worker identity.
+            assert response.headers["X-Repro-Worker"] is None
+
+    def test_worker_header_when_configured(self, figure2_instance):
+        variant = Variant.threshold_jaccard(0.6)
+        tree = CTCR().build(figure2_instance, variant)
+        engine = ServingEngine.from_tree(tree, figure2_instance, variant)
+        server = make_server(engine, worker_id=7)
+        serve_in_background(server)
+        try:
+            url = f"http://127.0.0.1:{server.server_port}/healthz"
+            with urllib.request.urlopen(url, timeout=10) as response:
+                assert response.headers["X-Repro-Worker"] == "7"
+        finally:
+            server.stop()
+
+    def test_header_tracks_generation_across_swap(self, served):
+        server, engine, _, _ = served
+        url = f"http://127.0.0.1:{server.server_port}/browse"
+        with urllib.request.urlopen(url, timeout=10) as response:
+            before = int(response.headers["X-Repro-Generation"])
+        assert _post(server, "/admin/swap")[0] == 200
+        with urllib.request.urlopen(url, timeout=10) as response:
+            after = int(response.headers["X-Repro-Generation"])
+        assert after == before + 1
+
+    def test_error_responses_are_attributed_too(self, served):
+        server, engine, _, _ = served
+        status, _ = _get(server, "/browse?cid=99999")
+        assert status == 404
+        url = f"http://127.0.0.1:{server.server_port}/nope"
+        try:
+            urllib.request.urlopen(url, timeout=10)
+        except urllib.error.HTTPError as exc:
+            assert exc.headers["X-Repro-Generation"] == str(engine.generation)

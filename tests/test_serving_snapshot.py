@@ -1,6 +1,7 @@
 """Tests for the versioned snapshot store and variant specs."""
 
 import json
+import multiprocessing
 
 import pytest
 
@@ -149,3 +150,62 @@ class TestSnapshotStore:
         assert {i.snapshot_id for i in listed} == ids
         keys = [(i.created_at, i.snapshot_id) for i in listed]
         assert keys == sorted(keys)
+
+
+def _publisher_main(root, instance, deltas, rounds):
+    """One publisher process: save+activate snapshots back to back."""
+    store = SnapshotStore(root)
+    for _ in range(rounds):
+        for delta in deltas:
+            variant = Variant.threshold_jaccard(delta)
+            tree = CTCR().build(instance, variant)
+            store.save(tree, instance, variant)
+
+
+class TestConcurrentPublishers:
+    def test_process_pool_race_on_current(self, tmp_path, figure2_instance):
+        """N processes publishing concurrently never corrupt the store.
+
+        Each save stages a whole snapshot (JSON + flat) and flips
+        ``CURRENT`` with ``os.replace``; racing publishers may interleave
+        arbitrarily, but afterwards CURRENT must point at one complete,
+        loadable, mmap-able snapshot, every snapshot directory must be
+        complete, and no staging/tmp debris may remain.
+        """
+        ctx = multiprocessing.get_context("fork")
+        deltas_per_proc = [(0.5, 0.6), (0.6, 0.7), (0.7, 0.8), (0.8, 0.5)]
+        procs = [
+            ctx.Process(
+                target=_publisher_main,
+                args=(str(tmp_path), figure2_instance, deltas, 3),
+            )
+            for deltas in deltas_per_proc
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(120)
+            assert p.exitcode == 0
+
+        store = SnapshotStore(tmp_path)
+        all_deltas = {d for per in deltas_per_proc for d in per}
+        infos = store.list()
+        assert len(infos) == len(all_deltas)  # content-addressed dedup held
+        current = store.current_id()
+        assert current in {i.snapshot_id for i in infos}
+        # The winner (and every other snapshot) is complete and readable.
+        for info in infos:
+            loaded = store.load(info.snapshot_id)
+            assert loaded.info.snapshot_id == info.snapshot_id
+            assert store.flat_paths(info.snapshot_id)  # flat layout landed
+        from repro.serving import prepare_mmap_generation
+
+        generation = prepare_mmap_generation(store)
+        assert generation.snapshot_id == current
+        generation.indexes.close()
+        # No staging directories or tmp files anywhere in the store.
+        debris = [
+            p for p in tmp_path.rglob("*")
+            if "staging" in p.name or ".tmp-" in p.name
+        ]
+        assert debris == []
