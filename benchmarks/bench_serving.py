@@ -21,6 +21,12 @@ Three experiments over one snapshotted CTCR tree, all written to
    index build) vs the publish flip itself, showing the expensive half
    runs entirely off the read path.
 
+The payload also records the snapshot's on-disk footprint: per-section
+flat-file bytes summed across shards (``snapshot_sections``) and the
+RSS the flat mappings keep resident after a read sweep
+(``mapped_resident_bytes``, ``null`` off-Linux) — the representation
+comparison itself lives in ``bench_serving_succinct.py``.
+
 ``--tiny`` runs a seconds-scale version on dataset A for CI smoke (own
 file ``BENCH_serving_tiny.json``; the zero-error assertion still holds).
 """
@@ -37,6 +43,10 @@ _ROOT = Path(__file__).resolve().parents[1]
 if str(_ROOT) not in sys.path:  # allow `python benchmarks/bench_...py`
     sys.path.insert(0, str(_ROOT))
 
+from benchmarks.bench_serving_succinct import (
+    mapped_resident_bytes,
+    section_accounting,
+)
 from benchmarks.common import bench_report, write_bench_json
 from benchmarks.conftest import instance_for
 from repro.algorithms import CTCR
@@ -47,6 +57,7 @@ from repro.serving import (
     ServingEngine,
     SnapshotStore,
     build_workload,
+    prepare_mmap_generation,
     run_loadgen,
 )
 
@@ -104,6 +115,15 @@ def run(tiny: bool = False) -> dict:
         run_loadgen(warm_engine, workload, n_workers=n_workers)  # warm-up
         warm = run_loadgen(warm_engine, workload, n_workers=n_workers)
 
+        # -- snapshot footprint: per-section bytes + mapped residency --------
+        flat_paths = store.flat_paths(info.snapshot_id)
+        snapshot_sections, _ = section_accounting(flat_paths)
+        mmap_generation = prepare_mmap_generation(store)
+        for item in list(loaded.instance.universe)[:200]:
+            mmap_generation.indexes.placements(item)  # touch the pages
+        resident = mapped_resident_bytes(flat_paths)
+        mmap_generation.indexes.close()
+
         # -- experiment 3: prepare vs publish cost ---------------------------
         t0 = time.perf_counter()
         generation = swapper.generation_from_store(store)
@@ -141,6 +161,8 @@ def run(tiny: bool = False) -> dict:
             "prepare_s": round(prepare_s, 4),
             "publish_s": round(publish_s, 6),
         },
+        "snapshot_sections": snapshot_sections,
+        "mapped_resident_bytes": resident,
         "final_generation": engine.generation,
     }
     write_bench_json("serving_tiny" if tiny else "serving", payload)

@@ -14,6 +14,10 @@ Commands:
 * ``serve``     — run the snapshot-based HTTP serving layer (build or
                   load a snapshot, answer categorize/browse/search
                   queries, hot-swap on demand).
+* ``inspect-snapshot`` — print the flat binary snapshot's section table
+                  (name, kind, count, bytes, % of total) per shard, with
+                  per-group subtotals comparing the dense and succinct
+                  layouts.
 * ``oct``       — alias for ``build`` (the paper's name for the problem).
 
 Variants are spelled ``threshold-jaccard:0.8``, ``cutoff-f1:0.7``,
@@ -324,7 +328,8 @@ def cmd_serve(args) -> int:
             f"(variant {loaded.info.variant}, score {loaded.info.score:.4f})"
         )
         engine = ServingEngine.from_snapshot(
-            loaded, cache_size=args.cache_size, use_bitset=use_bitset
+            loaded, cache_size=args.cache_size, use_bitset=use_bitset,
+            tree_repr=args.tree_repr,
         )
     else:
         instance, dataset, variant = _load(args)
@@ -337,11 +342,13 @@ def cmd_serve(args) -> int:
             engine = ServingEngine.from_snapshot(
                 store.load(info.snapshot_id),
                 cache_size=args.cache_size, use_bitset=use_bitset,
+                tree_repr=args.tree_repr,
             )
         else:
             engine = ServingEngine.from_tree(
                 tree, instance, variant,
                 cache_size=args.cache_size, use_bitset=use_bitset,
+                tree_repr=args.tree_repr,
             )
 
     if args.workers > 1:
@@ -349,6 +356,7 @@ def cmd_serve(args) -> int:
     server = make_server(
         engine, host=args.host, port=args.port,
         store=store, max_requests=args.max_requests,
+        tree_repr=args.tree_repr,
     )
     return _serve_loop(server, engine)
 
@@ -370,6 +378,7 @@ def _serve_multi(args, store) -> int:
         use_bitset=use_bitset,
         poll_interval=args.poll_interval,
         max_requests=args.max_requests,
+        tree_repr=args.tree_repr,
     )
     supervisor.start()
     print(
@@ -416,6 +425,97 @@ def _serve_loop(server, engine) -> int:
         f"served {stats['requests']} requests "
         f"(cache hit rate {stats['cache']['hit_rate']:.2f})"
     )
+    return 0
+
+
+def cmd_inspect_snapshot(args) -> int:
+    """Print the flat section table of a snapshot's shard files."""
+    from pathlib import Path
+
+    from repro.serving import SnapshotStore, describe_flat
+    from repro.serving.shm import SECTION_GROUPS
+
+    target = Path(args.dir)
+    if (target / "manifest.json").exists():
+        # A snapshot directory directly.
+        paths = sorted(target.glob("indexes-*.flat"))
+    else:
+        store = SnapshotStore(target)
+        snapshot_id = args.snapshot or store.current_id()
+        if snapshot_id is None:
+            print(
+                f"error: no CURRENT snapshot in {target}; "
+                "pass --snapshot ID",
+                file=sys.stderr,
+            )
+            return 2
+        paths = store.flat_paths(snapshot_id)
+    if not paths:
+        print(
+            "error: no flat shard files found (save with flat_shards >= 1 "
+            "or backfill via SnapshotStore.ensure_flat)",
+            file=sys.stderr,
+        )
+        return 2
+
+    group_totals: dict[str, int] = {}
+    grand_total = 0
+    for path in paths:
+        info = describe_flat(path)
+        total = sum(s["bytes"] for s in info["sections"]) or 1
+        header = info["header"]
+        print(
+            f"{path.name}: format v{info['format_version']}, "
+            f"reprs {'+'.join(header.get('reprs', ['flat']))}, "
+            f"shard {header['shard_index'] + 1}/{header['shard_count']}, "
+            f"{info['file_bytes']} bytes on disk"
+        )
+        print(
+            format_table(
+                ["section", "group", "kind", "count", "bytes", "%"],
+                [
+                    [
+                        s["name"], s["group"], s["kind"], s["count"],
+                        s["bytes"], round(100.0 * s["bytes"] / total, 1),
+                    ]
+                    for s in info["sections"]
+                ],
+            )
+        )
+        for s in info["sections"]:
+            group_totals[s["group"]] = (
+                group_totals.get(s["group"], 0) + s["bytes"]
+            )
+            grand_total += s["bytes"]
+
+    print("group subtotals (all shards):")
+    print(
+        format_table(
+            ["group", "bytes", "%"],
+            [
+                [g, b, round(100.0 * b / (grand_total or 1), 1)]
+                for g, b in sorted(
+                    group_totals.items(), key=lambda kv: -kv[1]
+                )
+            ],
+        )
+    )
+    # The headline of the succinct read path: tree+postings bytes of the
+    # dense layout vs. the Euler/varint layout, when both are present.
+    dense = group_totals.get("dense", 0)
+    succinct = sum(
+        group_totals.get(g, 0)
+        for g in ("succinct_tree", "succinct_postings")
+    )
+    if dense and succinct:
+        print(
+            f"dense postings+bitset: {dense} bytes; succinct "
+            f"euler+varint: {succinct} bytes "
+            f"({dense / succinct:.1f}x smaller)"
+        )
+    unknown = set(group_totals) - set(SECTION_GROUPS) - {"?"}
+    if unknown:  # pragma: no cover - future formats
+        print(f"note: unrecognized groups {sorted(unknown)}")
     return 0
 
 
@@ -630,7 +730,33 @@ def make_parser() -> argparse.ArgumentParser:
         help="how often workers poll the store's CURRENT pointer for "
         "hot swaps (default: 0.25)",
     )
+    p_serve.add_argument(
+        "--tree-repr",
+        choices=["flat", "succinct"],
+        default="flat",
+        help="read-path representation: the flat pointer-chase layout "
+        "(default) or the succinct Euler-tour/varint structures "
+        "(identical answers, smaller indexes, batched-LCA categorize)",
+    )
     p_serve.set_defaults(func=cmd_serve)
+
+    p_inspect = sub.add_parser(
+        "inspect-snapshot",
+        help="print a flat snapshot's section table (bytes per section)",
+    )
+    add_common(p_inspect)
+    p_inspect.add_argument(
+        "dir",
+        help="a snapshot store root (inspects its CURRENT snapshot) or "
+        "one snapshot directory",
+    )
+    p_inspect.add_argument(
+        "--snapshot",
+        metavar="ID",
+        help="inspect this snapshot id instead of CURRENT (store roots "
+        "only)",
+    )
+    p_inspect.set_defaults(func=cmd_inspect_snapshot)
 
     return parser
 

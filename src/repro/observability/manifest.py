@@ -33,7 +33,10 @@ from repro.observability.tracer import NullTracer, Tracer
 # v5: serving.workers.* gauges/counters from multi-process serving
 # (worker count, respawns, poll errors) and serving.flat_bytes from the
 # flat mmap snapshot compiler.
-SCHEMA_VERSION = 5
+# v6: serving.succinct.* counters from the succinct read path (requests
+# served by succinct generations, varint postings decoded, bitset
+# large-fan-in fallbacks, batched-LCA sweeps).
+SCHEMA_VERSION = 6
 
 try:  # pragma: no cover - resource is POSIX-only
     import resource

@@ -10,9 +10,12 @@ thread-safe query engine with an LRU result cache
 deterministic closed-loop load generator
 (:mod:`repro.serving.loadgen`, benchmark: ``benchmarks/bench_serving.py``),
 a versioned flat binary snapshot layout mapped read-only across worker
-processes (:mod:`repro.serving.shm`), and a multi-process SO_REUSEPORT
+processes (:mod:`repro.serving.shm`), a multi-process SO_REUSEPORT
 supervisor serving it (:mod:`repro.serving.supervisor`, CLI:
-``python -m repro serve --workers N``).
+``python -m repro serve --workers N``), and a succinct tree-retrieval
+read path — Euler-tour intervals, sparse-table LCA, delta-compressed
+varint postings — behind the ``tree_repr="succinct"`` knob
+(:mod:`repro.serving.succinct`, bit-identical to the flat answers).
 
 Quickstart::
 
@@ -47,8 +50,12 @@ from repro.serving.loadgen import (
 )
 from repro.serving.shm import (
     FLAT_FORMAT_VERSION,
+    SECTION_GROUPS,
     MmapSnapshotIndexes,
     compile_flat_indexes,
+    describe_flat,
+    flat_format_version,
+    flat_header,
     prepare_mmap_generation,
 )
 from repro.serving.snapshot import (
@@ -61,12 +68,21 @@ from repro.serving.snapshot import (
     variant_from_spec,
     variant_spec,
 )
+from repro.serving.succinct import (
+    BITSET_FANIN_THRESHOLD,
+    TREE_REPRS,
+    EulerTour,
+    decode_postings,
+    encode_postings,
+)
 from repro.serving.supervisor import ServingSupervisor, WorkerConfig
 
 __all__ = [
+    "BITSET_FANIN_THRESHOLD",
     "BaseSnapshotIndexes",
     "BestCategory",
     "DEFAULT_MIX",
+    "EulerTour",
     "FLAT_FORMAT_VERSION",
     "Generation",
     "HotSwapper",
@@ -75,6 +91,7 @@ __all__ = [
     "LoadedSnapshot",
     "MmapSnapshotIndexes",
     "Request",
+    "SECTION_GROUPS",
     "SNAPSHOT_FORMAT_VERSION",
     "ServingEngine",
     "ServingError",
@@ -84,10 +101,16 @@ __all__ = [
     "SnapshotIndexes",
     "SnapshotInfo",
     "SnapshotStore",
+    "TREE_REPRS",
     "WorkerConfig",
     "build_workload",
     "compile_flat_indexes",
+    "decode_postings",
+    "describe_flat",
+    "encode_postings",
     "flat_file_name",
+    "flat_format_version",
+    "flat_header",
     "make_server",
     "prepare_generation",
     "prepare_mmap_generation",

@@ -68,17 +68,20 @@ def prepare_generation(
     variant: Variant,
     snapshot_id: str = "",
     use_bitset: bool | None = None,
+    tree_repr: str = "flat",
 ) -> Generation:
     """Build the read-side indexes for a tree (expensive; off-path).
 
     This is the slow half of a hot swap — run it in the background (or
     before serving starts) and hand the result to
-    :meth:`ServingEngine.publish`.
+    :meth:`ServingEngine.publish`. ``tree_repr="succinct"`` builds the
+    Euler-tour/varint read path (identical answers, smaller indexes).
     """
     tracer = get_tracer()
     with tracer.span("serving.prepare"):
         indexes = SnapshotIndexes(
-            tree, instance, variant, use_bitset=use_bitset
+            tree, instance, variant, use_bitset=use_bitset,
+            tree_repr=tree_repr,
         )
     return Generation(
         tree=tree,
@@ -157,6 +160,7 @@ class ServingEngine:
         loaded: LoadedSnapshot,
         cache_size: int = 4096,
         use_bitset: bool | None = None,
+        tree_repr: str = "flat",
     ) -> "ServingEngine":
         """An engine serving one loaded snapshot (generation 1)."""
         engine = cls(cache_size=cache_size)
@@ -167,6 +171,7 @@ class ServingEngine:
                 loaded.variant,
                 snapshot_id=loaded.info.snapshot_id,
                 use_bitset=use_bitset,
+                tree_repr=tree_repr,
             )
         )
         return engine
@@ -179,11 +184,15 @@ class ServingEngine:
         variant: Variant,
         cache_size: int = 4096,
         use_bitset: bool | None = None,
+        tree_repr: str = "flat",
     ) -> "ServingEngine":
         """An engine serving an in-memory tree (no snapshot store)."""
         engine = cls(cache_size=cache_size)
         engine.publish(
-            prepare_generation(tree, instance, variant, use_bitset=use_bitset)
+            prepare_generation(
+                tree, instance, variant, use_bitset=use_bitset,
+                tree_repr=tree_repr,
+            )
         )
         return engine
 
@@ -273,6 +282,8 @@ class ServingEngine:
             tracer.count("serving.requests")
             tracer.count(f"serving.op.{op}")
             tracer.count("serving.latency_us", int(wall * 1e6))
+            if gen.indexes.tree_repr == "succinct":
+                tracer.count("serving.succinct.requests")
 
     # -- read operations ----------------------------------------------------
 
@@ -295,6 +306,36 @@ class ServingEngine:
             ]
 
         return self._serve("categorize", item, compute)
+
+    def categorize_items(self, items: Iterable[Item]) -> list[list[dict]]:
+        """Batched :meth:`categorize_item`: one result list per item.
+
+        All placement paths resolve through one
+        :meth:`~repro.serving.indexes.BaseSnapshotIndexes.paths_to_root_batch`
+        call, so a succinct-backed generation shares every common path
+        prefix via a single LCA sweep instead of one root walk per item.
+        Results are exactly what the per-item op returns, in input order.
+        """
+        batch = tuple(items)
+
+        def compute(gen: Generation) -> list[list[dict]]:
+            ix = gen.indexes
+            placements = [ix.placements(item) for item in batch]
+            all_cids = {cid for cids in placements for cid in cids}
+            paths = ix.paths_to_root_batch(all_cids)
+            return [
+                [
+                    {
+                        "cid": cid,
+                        "label": ix.label_of(cid),
+                        "path": [ix.label_of(p) for p in paths[cid]],
+                    }
+                    for cid in cids
+                ]
+                for cids in placements
+            ]
+
+        return self._serve("categorize_batch", batch, compute)
 
     def best_category(
         self,

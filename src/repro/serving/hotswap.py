@@ -46,6 +46,7 @@ class HotSwapper:
         engine: ServingEngine,
         use_bitset: bool | None = None,
         backend: str = "object",
+        tree_repr: str | None = None,
     ) -> None:
         if backend not in ("object", "mmap"):
             raise ValueError(
@@ -54,6 +55,9 @@ class HotSwapper:
         self.engine = engine
         self.use_bitset = use_bitset
         self.backend = backend
+        # None = each backend's default ("flat" for object generations,
+        # auto-resolution for mmap'ed flat files).
+        self.tree_repr = tree_repr
         self._swap_lock = threading.Lock()  # serializes whole swaps
         # Carried between delta swaps; None until the first delta
         # rebuild bootstraps it with a full build.
@@ -74,7 +78,8 @@ class HotSwapper:
             from repro.serving.shm import prepare_mmap_generation
 
             return prepare_mmap_generation(
-                store, snapshot_id, use_bitset=self.use_bitset
+                store, snapshot_id, use_bitset=self.use_bitset,
+                tree_repr=self.tree_repr,
             )
         loaded = store.load(snapshot_id)
         return prepare_generation(
@@ -83,6 +88,7 @@ class HotSwapper:
             loaded.variant,
             snapshot_id=loaded.info.snapshot_id,
             use_bitset=self.use_bitset,
+            tree_repr=self.tree_repr or "flat",
         )
 
     def generation_from_build(
@@ -109,6 +115,7 @@ class HotSwapper:
         return prepare_generation(
             tree, instance, variant,
             snapshot_id=snapshot_id, use_bitset=self.use_bitset,
+            tree_repr=self.tree_repr or "flat",
         )
 
     def generation_from_delta(
@@ -158,6 +165,7 @@ class HotSwapper:
         return prepare_generation(
             tree, instance, variant,
             snapshot_id="", use_bitset=self.use_bitset,
+            tree_repr=self.tree_repr or "flat",
         )
 
     # -- swapping ------------------------------------------------------------

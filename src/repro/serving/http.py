@@ -11,6 +11,10 @@ Endpoints (all JSON):
 ``GET /healthz``          liveness + serving generation/snapshot
 ``GET /stats``            :meth:`ServingEngine.stats` (cache, latency, ops)
 ``GET /categorize?item=`` the item's branch placements
+``GET /categorize-batch?items=a,b,c``
+                          batched categorize: one placement list per
+                          item (succinct generations share path
+                          prefixes through one LCA sweep)
 ``GET /best-category?items=a,b,c[&delta=0.7][&variant=spec]``
                           best-scoring category for a query result set
 ``GET /browse[?cid=N]``   one navigation page (root when ``cid`` omitted)
@@ -67,6 +71,7 @@ class ServingHTTPServer(ThreadingHTTPServer):
         reuse_port: bool = False,
         worker_id: int | None = None,
         backend: str = "object",
+        tree_repr: str | None = None,
     ) -> None:
         # server_bind runs inside super().__init__, so the bind options
         # must be set first.
@@ -74,7 +79,7 @@ class ServingHTTPServer(ThreadingHTTPServer):
         super().__init__(address, _Handler)
         self.engine = engine
         self.store = store
-        self.swapper = HotSwapper(engine, backend=backend)
+        self.swapper = HotSwapper(engine, backend=backend, tree_repr=tree_repr)
         self.quiet = quiet
         self.max_requests = max_requests
         self.worker_id = worker_id
@@ -180,6 +185,7 @@ class _Handler(BaseHTTPRequestHandler):
                 "/healthz": self._get_healthz,
                 "/stats": self._get_stats,
                 "/categorize": self._get_categorize,
+                "/categorize-batch": self._get_categorize_batch,
                 "/best-category": self._get_best_category,
                 "/browse": self._get_browse,
                 "/path": self._get_path,
@@ -233,6 +239,15 @@ class _Handler(BaseHTTPRequestHandler):
         item = self._require(params, "item")
         placements = self.server.engine.categorize_item(item)
         self._reply(200, {"item": item, "placements": placements})
+
+    def _get_categorize_batch(self) -> None:
+        params = self._params()
+        raw_items = self._require(params, "items")
+        items = [i for i in raw_items.split(",") if i]
+        if not items:
+            raise _BadRequest("items must be a non-empty comma-separated list")
+        results = self.server.engine.categorize_items(items)
+        self._reply(200, {"items": items, "results": results})
 
     def _get_best_category(self) -> None:
         params = self._params()
@@ -335,18 +350,22 @@ def make_server(
     reuse_port: bool = False,
     worker_id: int | None = None,
     backend: str = "object",
+    tree_repr: str | None = None,
 ) -> ServingHTTPServer:
     """Bind a serving HTTP server (``port=0`` picks a free port).
 
     The caller drives it: ``serve_forever()`` inline, or on a thread via
     :func:`serve_in_background`. The bound port is ``server.server_port``.
     ``backend="mmap"`` makes ``/admin/swap`` reload snapshots through the
-    flat mmap layout instead of deserializing them.
+    flat mmap layout instead of deserializing them; ``tree_repr``
+    selects the representation swapped-in generations use (None = the
+    backend default).
     """
     return ServingHTTPServer(
         (host, port), engine, store=store,
         max_requests=max_requests, quiet=quiet,
         reuse_port=reuse_port, worker_id=worker_id, backend=backend,
+        tree_repr=tree_repr,
     )
 
 

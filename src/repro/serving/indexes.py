@@ -34,7 +34,15 @@ from repro.core.input_sets import OCTInstance
 from repro.core.similarity import variant_score_from_sizes
 from repro.core.tree import Category, CategoryTree
 from repro.core.variants import Variant
+from repro.observability import get_tracer
 from repro.search.engine import SearchEngine
+from repro.serving.succinct import (
+    BITSET_FANIN_THRESHOLD,
+    EulerTour,
+    decode_postings,
+    encode_postings,
+    validate_tree_repr,
+)
 
 Item = Hashable
 
@@ -65,6 +73,10 @@ class BaseSnapshotIndexes:
     sizes: "object"  # cid -> |items| mapping (dict or flat-array view)
     depths: "object"  # cid -> depth mapping
     parent_of: "object"  # cid -> parent cid | None mapping
+    # Set by succinct-backed subclasses; None keeps every default on the
+    # flat pointer-chase code paths.
+    tree_repr: str = "flat"
+    _euler: "EulerTour | None" = None
 
     def label_of(self, cid: int) -> str:  # pragma: no cover - abstract
         raise NotImplementedError
@@ -74,8 +86,22 @@ class BaseSnapshotIndexes:
     ) -> dict[int, int]:  # pragma: no cover - abstract
         raise NotImplementedError
 
+    def _row_of(self, cid: int) -> int:  # pragma: no cover - abstract
+        """The pre-order row of a cid (succinct backends only)."""
+        raise NotImplementedError
+
+    def _cid_of(self, row: int) -> int:  # pragma: no cover - abstract
+        """The cid at a pre-order row (succinct backends only)."""
+        raise NotImplementedError
+
     def path_to_root(self, cid: int) -> list[int]:
-        """Root-to-``cid`` cid path, inclusive (pointer chase, no scan)."""
+        """Root-to-``cid`` cid path, inclusive (no scan: O(answer))."""
+        if self._euler is not None:
+            cid_of = self._cid_of
+            return [
+                cid_of(row)
+                for row in self._euler.walk_to_root(self._row_of(cid))
+            ]
         path = [cid]
         parent = self.parent_of[cid]
         while parent is not None:
@@ -83,6 +109,41 @@ class BaseSnapshotIndexes:
             parent = self.parent_of[parent]
         path.reverse()
         return path
+
+    def is_ancestor(self, ancestor_cid: int, cid: int) -> bool:
+        """Whether ``ancestor_cid`` lies on ``cid``'s root path (inclusive).
+
+        Succinct backends answer with one Euler-interval range check;
+        flat backends walk the (short) root path. Both agree exactly —
+        the property tier pins the equivalence on random trees.
+        """
+        if self._euler is not None:
+            return self._euler.is_ancestor(
+                self._row_of(ancestor_cid), self._row_of(cid)
+            )
+        return ancestor_cid in self.path_to_root(cid)
+
+    def paths_to_root_batch(
+        self, cids: Iterable[int]
+    ) -> dict[int, list[int]]:
+        """Root paths for many cids at once (batched ``categorize``).
+
+        Succinct backends share every common path prefix through one
+        LCA sweep (:meth:`EulerTour.root_paths`); flat backends fall
+        back to one pointer chase per cid. Returns exactly what calling
+        :meth:`path_to_root` per cid would.
+        """
+        cids = set(cids)
+        if self._euler is None:
+            return {cid: self.path_to_root(cid) for cid in cids}
+        rows = {cid: self._row_of(cid) for cid in cids}
+        get_tracer().count("serving.succinct.batched_lca", max(0, len(rows) - 1))
+        row_paths = self._euler.root_paths(rows.values())
+        cid_of = self._cid_of
+        return {
+            cid: [cid_of(r) for r in row_paths[row]]
+            for cid, row in rows.items()
+        }
 
     def best_category(
         self,
@@ -134,8 +195,10 @@ class SnapshotIndexes(BaseSnapshotIndexes):
         instance: OCTInstance,
         variant: Variant,
         use_bitset: bool | None = None,
+        tree_repr: str = "flat",
     ) -> None:
         self.variant = variant
+        self.tree_repr = validate_tree_repr(tree_repr)
         cats = list(tree.categories())  # pre-order, root first
         self.by_cid: dict[int, Category] = {c.cid: c for c in cats}
         self.root_cid = tree.root.cid
@@ -162,12 +225,38 @@ class SnapshotIndexes(BaseSnapshotIndexes):
                 postings.setdefault(item, []).append(cat.cid)
                 if item not in covered_by_children:
                     minimal.setdefault(item, []).append(cat.cid)
-        self.item_postings: dict[Item, tuple[int, ...]] = {
-            item: tuple(cids) for item, cids in postings.items()
-        }
-        self.item_placements: dict[Item, tuple[int, ...]] = {
-            item: tuple(cids) for item, cids in minimal.items()
-        }
+        self._cids = [c.cid for c in cats]
+        self._row_of_map = {cid: row for row, cid in enumerate(self._cids)}
+        if self.tree_repr == "succinct":
+            # Euler-tour intervals + sparse-table LCA over pre-order
+            # rows, and the postings/placements delta-compressed into
+            # varint blobs (decoded on access) instead of tuple dicts —
+            # the in-process mirror of the flat layout's ROCT sections.
+            row_of = self._row_of_map
+            self._euler = EulerTour.build(
+                [
+                    row_of[c.parent.cid] if c.parent is not None else -1
+                    for c in cats
+                ],
+                [c.depth for c in cats],
+            )
+            self._post_var: dict[Item, bytes] = {
+                item: encode_postings(row_of[cid] for cid in cids)
+                for item, cids in postings.items()
+            }
+            self._place_var: dict[Item, bytes] = {
+                item: encode_postings(row_of[cid] for cid in cids)
+                for item, cids in minimal.items()
+            }
+            self.item_postings: dict[Item, tuple[int, ...]] = {}
+            self.item_placements: dict[Item, tuple[int, ...]] = {}
+        else:
+            self.item_postings = {
+                item: tuple(cids) for item, cids in postings.items()
+            }
+            self.item_placements = {
+                item: tuple(cids) for item, cids in minimal.items()
+            }
 
         # Label -> category lookup over the labeled categories.
         self.label_engine = SearchEngine()
@@ -178,7 +267,6 @@ class SnapshotIndexes(BaseSnapshotIndexes):
         # Packed category bitsets (PR 1 kernel). The universe is the
         # root's item set: every indexable item is in it, and query items
         # outside it cannot intersect any category.
-        self._cids = [c.cid for c in cats]
         self._bitset: "bitset.BitsetUniverse | None" = None
         if bitset.should_use(len(cats), len(tree.root.items), use_bitset):
             self._bitset = bitset.BitsetUniverse(
@@ -199,12 +287,24 @@ class SnapshotIndexes(BaseSnapshotIndexes):
         """The category for a cid; raises ``KeyError`` when unknown."""
         return self.by_cid[cid]
 
+    def _row_of(self, cid: int) -> int:
+        return self._row_of_map[cid]
+
+    def _cid_of(self, row: int) -> int:
+        return self._cids[row]
+
     def label_of(self, cid: int) -> str:
         cat = self.by_cid[cid]
         return cat.label or f"C{cat.cid}"
 
     def placements(self, item: Item) -> tuple[int, ...]:
         """The most-specific categories containing an item ('' when unknown)."""
+        if self.tree_repr == "succinct":
+            blob = self._place_var.get(item)
+            if blob is None:
+                return ()
+            get_tracer().count("serving.succinct.postings_decoded")
+            return tuple(self._cids[row] for row in decode_postings(blob))
         return self.item_placements.get(item, ())
 
     def find_labels(self, query: str, top_k: int = 10):
@@ -220,6 +320,37 @@ class SnapshotIndexes(BaseSnapshotIndexes):
         pass over all category rows), the item postings otherwise. Both
         paths return identical dicts.
         """
+        if self.tree_repr == "succinct":
+            known = [i for i in items if i in self._post_var]
+            if not known:
+                return {}
+            # Large fan-in amortizes the dense AND+popcount pass; small
+            # queries win by decoding a handful of varint rows. Both
+            # arms emit row-ascending (= pre-order = cid-table order).
+            if (
+                self._bitset is not None
+                and len(known) >= BITSET_FANIN_THRESHOLD
+            ):
+                get_tracer().count("serving.succinct.bitset_fanin")
+                sizes = self._bitset.intersection_sizes(
+                    self._bitset.pack(known)
+                )
+                return {
+                    self._cids[row]: int(common)
+                    for row, common in enumerate(sizes.tolist())
+                    if common
+                }
+            get_tracer().count(
+                "serving.succinct.postings_decoded", len(known)
+            )
+            row_counts: dict[int, int] = {}
+            for item in known:
+                for row in decode_postings(self._post_var[item]):
+                    row_counts[row] = row_counts.get(row, 0) + 1
+            return {
+                self._cids[row]: row_counts[row]
+                for row in sorted(row_counts)
+            }
         if self._bitset is not None:
             known = [i for i in items if i in self._bitset.index]
             if not known:

@@ -43,6 +43,18 @@ intersection path and the postings fallback matches it exactly):
 ``tok_post``        token -> label doc rows (``tok_post_off``)
 ==================  ========================================================
 
+Format version 2 adds the *succinct* section group (see
+:mod:`repro.serving.succinct` and the "Succinct read path" section of
+docs/operations.md): Euler-tour interval arrays (``cat_tin``/``cat_tout``),
+the sparse-table LCA structure (``euler_tour``/``euler_first``/
+``lca_sparse``), and delta-compressed varint postings
+(``item_post_var``/``item_place_var``/``cat_items_var`` with their byte
+offset arrays) that replace the dense i64 row arrays and the bit matrix
+on the sparse read path. The header's ``reprs`` list records which
+groups a file carries ("flat", "succinct", or both); readers pick via
+the ``tree_repr`` knob and :meth:`SnapshotStore.ensure_flat` recompiles
+stale or repr-missing files in place.
+
 Sharding splits the *item* sections by ``crc32(item key) % shard_count``;
 the category tree and label-search sections are replicated into every
 shard, so any single shard answers ``browse``/``path``/``search`` alone
@@ -72,17 +84,59 @@ from repro.search.analyzer import tokenize
 from repro.search.engine import SearchHit
 from repro.serving.indexes import BaseSnapshotIndexes, SnapshotIndexes
 from repro.serving.snapshot import SnapshotError, variant_from_spec, variant_spec
+from repro.serving.succinct import (
+    BITSET_FANIN_THRESHOLD,
+    EulerTour,
+    concat_postings,
+    decode_postings,
+)
 
 Item = Hashable
 
 FLAT_MAGIC = b"ROCT"
-FLAT_FORMAT_VERSION = 1
+FLAT_FORMAT_VERSION = 2
 _TRAILER_MAGIC = b"TROC"
 _PREFIX = struct.Struct("<4sIQ")  # magic, version, header byte length
 _TRAILER = struct.Struct("<4sQ")  # trailer magic, total file size
 
 # Section element kinds -> (memoryview cast format, element size).
-_KINDS = {"i64": ("q", 8), "u64": ("Q", 8), "u8": ("B", 1)}
+_KINDS = {"i64": ("q", 8), "u64": ("Q", 8), "u8": ("B", 1), "i32": ("i", 4)}
+
+# Logical section groups: byte accounting for `repro inspect-snapshot`
+# and the benchmarks, and (via _GROUPS_FOR) required-section validation.
+# "tree"/"items"/"tokens" appear in every file; "dense" only when the
+# header's `reprs` includes "flat", "succinct_*" only with "succinct".
+SECTION_GROUPS: dict[str, tuple[str, ...]] = {
+    "tree": (
+        "cat_cids", "cat_parent", "cat_depth", "cat_size",
+        "cat_children_off", "cat_children", "cat_label_off", "cat_labels",
+        "cid_to_row",
+    ),
+    "items": ("item_off", "item_keys"),
+    "dense": (
+        "item_post_off", "item_post", "item_place_off", "item_place",
+        "cat_bits",
+    ),
+    "succinct_tree": (
+        "cat_tin", "cat_tout", "euler_tour", "euler_first", "lca_sparse",
+    ),
+    "succinct_postings": (
+        "item_post_voff", "item_post_var", "item_place_voff",
+        "item_place_var", "cat_items_voff", "cat_items_var",
+    ),
+    "tokens": ("tok_off", "tok_blob", "tok_df", "tok_post_off", "tok_post"),
+}
+
+
+def _groups_for(reprs: Sequence[str]) -> list[str]:
+    """The section groups a file with these representations must carry."""
+    groups = ["tree", "items"]
+    if "flat" in reprs:
+        groups.append("dense")
+    if "succinct" in reprs:
+        groups += ["succinct_tree", "succinct_postings"]
+    groups.append("tokens")
+    return groups
 
 
 def _align8(n: int) -> int:
@@ -140,6 +194,11 @@ class _SectionWriter:
             name, "u64", struct.pack(f"<{len(values)}Q", *values), len(values)
         )
 
+    def add_i32(self, name: str, values: Sequence[int]) -> None:
+        self.add(
+            name, "i32", struct.pack(f"<{len(values)}i", *values), len(values)
+        )
+
     def add_blob(self, name: str, payload: bytes) -> None:
         self.add(name, "u8", payload, len(payload))
 
@@ -165,7 +224,7 @@ def _offsets(lengths: Sequence[int]) -> list[int]:
 
 
 def compile_flat_indexes(
-    indexes: SnapshotIndexes, shards: int = 1
+    indexes: SnapshotIndexes, shards: int = 1, tree_repr: str = "both"
 ) -> list[bytes]:
     """Serialize in-memory snapshot indexes into flat shard files.
 
@@ -173,9 +232,26 @@ def compile_flat_indexes(
     the tree directly) guarantees the flat file encodes exactly what the
     in-memory read path would answer — the differential tests then pin
     the mmap reader to it.
+
+    ``tree_repr`` selects the emitted section groups: ``"flat"`` (dense
+    i64 postings + bit matrix), ``"succinct"`` (Euler-tour intervals,
+    sparse-table LCA, delta-compressed varint postings), or ``"both"``
+    (the default — any reader knob works against the file).
     """
     if shards < 1:
         raise SnapshotError(f"shard count must be >= 1, got {shards}")
+    if tree_repr not in ("flat", "succinct", "both"):
+        raise SnapshotError(
+            f"tree_repr must be 'flat', 'succinct' or 'both', "
+            f"got {tree_repr!r}"
+        )
+    if indexes.tree_repr != "flat":
+        raise SnapshotError(
+            "compile_flat_indexes needs flat-repr indexes (the dense "
+            "postings dicts are the compilation source); got "
+            f"tree_repr={indexes.tree_repr!r}"
+        )
+    reprs = ["flat", "succinct"] if tree_repr == "both" else [tree_repr]
     tracer = get_tracer()
     with tracer.span("serving.compile_flat"):
         cids = list(indexes._cids)  # category pre-order, root first
@@ -209,6 +285,19 @@ def compile_flat_indexes(
         tok_post_offsets = _offsets([len(p) for p in tok_posts])
         n_label_docs = len(tok_index.doc_lengths)
 
+        # Succinct tree structure (replicated per shard, like the other
+        # category sections): built once from the pre-order parent array.
+        euler: EulerTour | None = None
+        if "succinct" in reprs:
+            euler = EulerTour.build(
+                [
+                    row_of[p] if (p := indexes.parent_of[cid]) is not None
+                    else -1
+                    for cid in cids
+                ],
+                [indexes.depths[cid] for cid in cids],
+            )
+
         # Items, partitioned by key shard and sorted by key within it.
         per_shard: list[list[tuple[bytes, Item]]] = [[] for _ in range(shards)]
         for item in indexes.item_postings:
@@ -236,16 +325,6 @@ def compile_flat_indexes(
             ]
             n_words = (len(entries) + 63) >> 6
 
-            # Pack the category-membership bit matrix over the shard's
-            # items: bit i of row r <=> item i (sorted order) is in the
-            # category at pre-order row r. Membership is exactly the
-            # postings relation, so both read paths agree by layout.
-            words = [0] * (n_cats * n_words)
-            for code, rows in enumerate(posts):
-                word, bit = code >> 6, 1 << (code & 63)
-                for row in rows:
-                    words[row * n_words + word] |= bit
-
             writer = _SectionWriter()
             writer.add_i64("cat_cids", cids)
             writer.add_i64(
@@ -271,13 +350,48 @@ def compile_flat_indexes(
             writer.add_i64("cid_to_row", cid_to_row)
             writer.add_i64("item_off", item_offsets)
             writer.add_blob("item_keys", b"".join(keys))
-            writer.add_i64("item_post_off", _offsets([len(p) for p in posts]))
-            writer.add_i64("item_post", [r for per in posts for r in per])
-            writer.add_i64(
-                "item_place_off", _offsets([len(p) for p in places])
-            )
-            writer.add_i64("item_place", [r for per in places for r in per])
-            writer.add_u64("cat_bits", words)
+            if "flat" in reprs:
+                # Dense layout: plain i64 row arrays plus the packed
+                # category-membership bit matrix over the shard's items
+                # (bit i of row r <=> item i, sorted order, is in the
+                # category at pre-order row r — exactly the postings
+                # relation, so both read paths agree by layout).
+                words = [0] * (n_cats * n_words)
+                for code, rows in enumerate(posts):
+                    word, bit = code >> 6, 1 << (code & 63)
+                    for row in rows:
+                        words[row * n_words + word] |= bit
+                writer.add_i64(
+                    "item_post_off", _offsets([len(p) for p in posts])
+                )
+                writer.add_i64("item_post", [r for per in posts for r in per])
+                writer.add_i64(
+                    "item_place_off", _offsets([len(p) for p in places])
+                )
+                writer.add_i64(
+                    "item_place", [r for per in places for r in per]
+                )
+                writer.add_u64("cat_bits", words)
+            if euler is not None:
+                for name, values in euler.arrays().items():
+                    writer.add_i32(name, values)
+                # Delta-compressed varint postings: item -> category
+                # rows, item -> minimal rows, and the transpose
+                # (category row -> sorted item codes) replacing the
+                # dense bit matrix on the sparse read path.
+                post_blob, post_voff = concat_postings(posts)
+                place_blob, place_voff = concat_postings(places)
+                cat_items: list[list[int]] = [[] for _ in range(n_cats)]
+                for code, rows in enumerate(posts):
+                    for row in rows:
+                        cat_items[row].append(code)
+                items_blob, items_voff = concat_postings(cat_items)
+                writer.add_i32("item_post_voff", post_voff)
+                writer.add_blob("item_post_var", post_blob)
+                writer.add_i32("item_place_voff", place_voff)
+                writer.add_blob("item_place_var", place_blob)
+                writer.add_i32("cat_items_voff", items_voff)
+                writer.add_blob("cat_items_var", items_blob)
             writer.add_i64("tok_off", tok_offsets)
             writer.add_blob("tok_blob", b"".join(tok_blobs))
             writer.add_i64("tok_df", tok_df)
@@ -299,6 +413,9 @@ def compile_flat_indexes(
                         "shard_count": shards,
                         "n_shard_items": len(entries),
                         "n_words": n_words,
+                        "reprs": reprs,
+                        "n_euler": len(euler.tour) if euler else 0,
+                        "lca_levels": euler.n_levels if euler else 0,
                     }
                 )
             )
@@ -307,6 +424,85 @@ def compile_flat_indexes(
 
 
 # -- reader ------------------------------------------------------------------
+
+
+def flat_header(path: str | Path) -> tuple[int, dict]:
+    """``(format_version, header dict)`` of a flat file, without mapping.
+
+    Validates only the prefix (magic + header JSON); section payloads and
+    the trailer are not touched, so this works on any version — it is
+    how :meth:`SnapshotStore.ensure_flat` detects stale files that need
+    an in-place recompile.
+    """
+    path = Path(path)
+    with open(path, "rb") as fh:
+        prefix = fh.read(_PREFIX.size)
+        if len(prefix) < _PREFIX.size:
+            raise SnapshotError(
+                f"flat snapshot {path} is truncated "
+                f"({len(prefix)} bytes is smaller than any valid file)"
+            )
+        magic, version, header_len = _PREFIX.unpack(prefix)
+        if magic != FLAT_MAGIC:
+            raise SnapshotError(
+                f"{path} is not a flat snapshot "
+                f"(bad magic {magic!r}, expected {FLAT_MAGIC!r})"
+            )
+        header_bytes = fh.read(header_len)
+        if len(header_bytes) < header_len:
+            raise SnapshotError(f"flat snapshot {path} header overruns the file")
+        try:
+            header = json.loads(header_bytes)
+        except json.JSONDecodeError as exc:
+            raise SnapshotError(
+                f"flat snapshot {path} has a corrupt header"
+            ) from exc
+    return version, header
+
+
+def flat_format_version(path: str | Path) -> int:
+    """The on-disk format version of one flat shard file."""
+    return flat_header(path)[0]
+
+
+def describe_flat(path: str | Path) -> dict:
+    """The section table of one flat shard, for ``repro inspect-snapshot``.
+
+    Returns ``{"path", "format_version", "header", "file_bytes",
+    "sections": [{"name", "group", "kind", "count", "bytes"}, ...]}``
+    with sections in file-offset order. Works on any readable version —
+    unknown sections land in group ``"?"``.
+    """
+    path = Path(path)
+    version, header = flat_header(path)
+    group_of = {
+        name: group
+        for group, names in SECTION_GROUPS.items()
+        for name in names
+    }
+    sections = []
+    for name, spec in sorted(
+        header.get("sections", {}).items(), key=lambda kv: kv[1]["offset"]
+    ):
+        width = _KINDS.get(spec["kind"], (None, 1))[1]
+        sections.append(
+            {
+                "name": name,
+                "group": group_of.get(name, "?"),
+                "kind": spec["kind"],
+                "count": spec["count"],
+                "bytes": spec["count"] * width,
+            }
+        )
+    return {
+        "path": str(path),
+        "format_version": version,
+        "header": {
+            k: v for k, v in header.items() if k != "sections"
+        },
+        "file_bytes": path.stat().st_size,
+        "sections": sections,
+    }
 
 
 @dataclass(frozen=True)
@@ -358,23 +554,19 @@ class _FlatShard:
                         "extends past the end of the file"
                     )
                 self._views[name] = view[lo:hi].cast(fmt)
-            for name in (
-                "cat_cids", "cat_parent", "cat_depth", "cat_size",
-                "cat_children_off", "cat_children", "cat_label_off",
-                "cat_labels", "cid_to_row", "item_off", "item_keys",
-                "item_post_off", "item_post", "item_place_off",
-                "item_place", "cat_bits", "tok_off", "tok_blob", "tok_df",
-                "tok_post_off", "tok_post",
-            ):
-                if name not in self._views:
-                    raise SnapshotError(
-                        f"flat snapshot {self.path} is missing "
-                        f"section {name!r}"
-                    )
+            self.reprs = tuple(self.header.get("reprs", ["flat"]))
+            for group in _groups_for(self.reprs):
+                for name in SECTION_GROUPS[group]:
+                    if name not in self._views:
+                        raise SnapshotError(
+                            f"flat snapshot {self.path} is missing "
+                            f"section {name!r}"
+                        )
         except Exception:
             self.close()
             raise
         self._matrix = None  # lazy numpy view over cat_bits
+        self._var_cache: dict[str, tuple[memoryview, memoryview]] = {}
 
     def _validate(self, size: int) -> dict:
         magic, version, header_len = _PREFIX.unpack(
@@ -394,7 +586,8 @@ class _FlatShard:
         if version != FLAT_FORMAT_VERSION:
             raise SnapshotError(
                 f"unsupported flat snapshot format version {version!r} "
-                f"(supported: {FLAT_FORMAT_VERSION})"
+                f"(supported: {FLAT_FORMAT_VERSION}); recompile it with "
+                "SnapshotStore.ensure_flat"
             )
         trailer = self._mm[size - _TRAILER.size:]
         t_magic, t_size = _TRAILER.unpack(trailer)
@@ -444,6 +637,18 @@ class _FlatShard:
         offsets = self._views[f"{section}_off"]
         return self._views[section][offsets[code]: offsets[code + 1]]
 
+    def var_views(self, section: str) -> tuple[memoryview, memoryview]:
+        """Cached ``(offsets, blob)`` view pair of one varint section."""
+        try:
+            return self._var_cache[section]
+        except KeyError:
+            pair = (
+                self._views[section + "_voff"],
+                self._views[section + "_var"],
+            )
+            self._var_cache[section] = pair
+            return pair
+
     @property
     def matrix(self):
         """The ``(n_categories, n_words)`` uint64 bit matrix (zero copy)."""
@@ -478,9 +683,16 @@ class _FlatShard:
 
     def close(self) -> None:
         # Closing the descriptor releases the fd immediately; the mapping
-        # itself stays valid for any live views and is reclaimed with them.
+        # itself stays valid for any live views and is reclaimed with
+        # them. Idempotent: a second close is a no-op.
         if not self._file.closed:
             self._file.close()
+
+    def __enter__(self) -> "_FlatShard":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 class _RowMapping:
@@ -557,6 +769,7 @@ class MmapSnapshotIndexes(BaseSnapshotIndexes):
         self,
         paths: Sequence[str | Path],
         use_bitset: bool | None = None,
+        tree_repr: str | None = None,
     ) -> None:
         if not paths:
             raise SnapshotError("no flat snapshot shard files to map")
@@ -580,12 +793,24 @@ class MmapSnapshotIndexes(BaseSnapshotIndexes):
                             f"flat shard {shard.path} disagrees with "
                             f"{shards[0].path} on {field!r}"
                         )
+            reprs = shards[0].reprs
+            if tree_repr is None:
+                # Auto: prefer the dense layout when present (the
+                # serving default), fall back to whatever the file has.
+                tree_repr = "flat" if "flat" in reprs else "succinct"
+            if tree_repr not in reprs:
+                raise SnapshotError(
+                    f"flat snapshot {shards[0].path} does not carry the "
+                    f"{tree_repr!r} representation (has: {list(reprs)}); "
+                    "recompile with SnapshotStore.ensure_flat"
+                )
         except Exception:
             for shard in shards:
                 shard.close()
             raise
         self._shards = shards
         self._tree_shard = shards[0]  # category/token sections: any shard
+        self.tree_repr = tree_repr
         self.variant = variant_from_spec(first["variant"])
         self.root_cid = int(first["root_cid"])
         self._n_categories = int(first["n_categories"])
@@ -594,9 +819,25 @@ class MmapSnapshotIndexes(BaseSnapshotIndexes):
         self.depths = _RowMapping(self._tree_shard, "cat_depth")
         self.parent_of = _ParentMapping(self._tree_shard, "cat_parent")
         self.children_of = _ChildrenMapping(self._tree_shard)
-        self._use_bitset = bitset.should_use(
-            self._n_categories, int(first["universe_size"]), use_bitset
+        self._use_bitset = "cat_bits" in self._tree_shard._views and (
+            bitset.should_use(
+                self._n_categories, int(first["universe_size"]), use_bitset
+            )
         )
+        if tree_repr == "succinct":
+            # Zero-copy views drive the exact same EulerTour query code
+            # the in-memory backend runs over plain lists.
+            views = self._tree_shard._views
+            self._euler = EulerTour(
+                parent=views["cat_parent"],
+                depth=views["cat_depth"],
+                tin=views["cat_tin"],
+                tout=views["cat_tout"],
+                tour=views["euler_tour"],
+                first=views["euler_first"],
+                sparse=views["lca_sparse"],
+                n_levels=int(first["lca_levels"]),
+            )
 
     # -- simple lookups ------------------------------------------------------
 
@@ -614,6 +855,24 @@ class MmapSnapshotIndexes(BaseSnapshotIndexes):
 
     def _row(self, cid: int) -> int:
         return self.sizes._row(cid)
+
+    def _row_of(self, cid: int) -> int:
+        return self.sizes._row(cid)
+
+    def _cid_of(self, row: int) -> int:
+        return self._tree_shard._views["cat_cids"][row]
+
+    @staticmethod
+    def _var_rows(shard: _FlatShard, section: str, code: int) -> Sequence[int]:
+        """Decode one item's varint row list from a succinct section."""
+        voff, blob = shard.var_views(section)
+        lo, hi = voff[code], voff[code + 1]
+        if hi - lo == 1:
+            # One posting with gap < 128 — a single byte holding
+            # value + 1 (gaps are taken against -1). Placements lists
+            # are overwhelmingly singletons, so skip the decoder loop.
+            return (blob[lo] - 1,)
+        return decode_postings(blob[lo:hi])
 
     def _raw_label(self, row: int) -> str:
         shard = self._tree_shard
@@ -636,8 +895,7 @@ class MmapSnapshotIndexes(BaseSnapshotIndexes):
     def label_of(self, cid: int) -> str:
         return self._raw_label(self._row(cid)) or f"C{cid}"
 
-    def placements(self, item: Item) -> tuple[int, ...]:
-        """The most-specific categories containing an item (pre-order)."""
+    def _item_cids(self, item: Item, section: str) -> tuple[int, ...]:
         key = encode_item(item)
         if key is None:
             return ()
@@ -646,23 +904,20 @@ class MmapSnapshotIndexes(BaseSnapshotIndexes):
         if code is None:
             return ()
         cat_cids = shard._views["cat_cids"]
-        return tuple(
-            cat_cids[row] for row in shard.item_rows("item_place", code)
-        )
+        if self.tree_repr == "succinct":
+            get_tracer().count("serving.succinct.postings_decoded")
+            rows = self._var_rows(shard, section, code)
+        else:
+            rows = shard.item_rows(section, code)
+        return tuple(cat_cids[row] for row in rows)
+
+    def placements(self, item: Item) -> tuple[int, ...]:
+        """The most-specific categories containing an item (pre-order)."""
+        return self._item_cids(item, "item_place")
 
     def postings(self, item: Item) -> tuple[int, ...]:
         """All categories containing an item (pre-order)."""
-        key = encode_item(item)
-        if key is None:
-            return ()
-        shard = self._shards[shard_of(key, len(self._shards))]
-        code = shard.find_item(key)
-        if code is None:
-            return ()
-        cat_cids = shard._views["cat_cids"]
-        return tuple(
-            cat_cids[row] for row in shard.item_rows("item_post", code)
-        )
+        return self._item_cids(item, "item_post")
 
     # -- label search --------------------------------------------------------
 
@@ -722,6 +977,7 @@ class MmapSnapshotIndexes(BaseSnapshotIndexes):
         """
         n_shards = len(self._shards)
         codes_per_shard: list[list[int]] = [[] for _ in range(n_shards)]
+        n_known = 0
         for item in items:
             key = encode_item(item)
             if key is None:
@@ -730,34 +986,32 @@ class MmapSnapshotIndexes(BaseSnapshotIndexes):
             code = self._shards[shard_index].find_item(key)
             if code is not None:
                 codes_per_shard[shard_index].append(code)
-        counts: dict[int, int] = {}
-        if self._use_bitset:
-            import numpy as np
-
-            total = None
-            for shard_index, codes in enumerate(codes_per_shard):
-                if not codes:
-                    continue
-                shard = self._shards[shard_index]
-                packed = np.zeros(shard.header["n_words"], dtype=np.uint64)
-                arr = np.asarray(codes, dtype=np.int64)
-                np.bitwise_or.at(
-                    packed,
-                    arr >> 6,
-                    np.uint64(1) << (arr & 63).astype(np.uint64),
-                )
-                sizes = bitset._popcount(shard.matrix & packed).sum(
-                    -1, dtype=np.int64
-                )
-                total = sizes if total is None else total + sizes
-            if total is None:
+                n_known += 1
+        if self.tree_repr == "succinct":
+            if not n_known:
                 return {}
+            # Large fan-in amortizes the dense AND+popcount pass (when
+            # the file carries cat_bits); small queries decode a handful
+            # of varint rows. Both arms emit row-ascending dicts.
+            if self._use_bitset and n_known >= BITSET_FANIN_THRESHOLD:
+                get_tracer().count("serving.succinct.bitset_fanin")
+                return self._bitset_counts(codes_per_shard)
+            get_tracer().count(
+                "serving.succinct.postings_decoded", n_known
+            )
+            counts: dict[int, int] = {}
+            for shard_index, codes in enumerate(codes_per_shard):
+                shard = self._shards[shard_index]
+                for code in codes:
+                    for row in self._var_rows(shard, "item_post", code):
+                        counts[row] = counts.get(row, 0) + 1
             cat_cids = self._tree_shard._views["cat_cids"]
             return {
-                cat_cids[row]: int(common)
-                for row, common in enumerate(total.tolist())
-                if common
+                cat_cids[row]: counts[row] for row in sorted(counts)
             }
+        if self._use_bitset:
+            return self._bitset_counts(codes_per_shard)
+        counts = {}
         for shard_index, codes in enumerate(codes_per_shard):
             shard = self._shards[shard_index]
             for code in codes:
@@ -768,6 +1022,37 @@ class MmapSnapshotIndexes(BaseSnapshotIndexes):
             cat_cids[row]: counts[row]
             for row in range(self._n_categories)
             if row in counts
+        }
+
+    def _bitset_counts(
+        self, codes_per_shard: Sequence[Sequence[int]]
+    ) -> dict[int, int]:
+        """One AND+popcount pass per shard, summed exactly across shards."""
+        import numpy as np
+
+        total = None
+        for shard_index, codes in enumerate(codes_per_shard):
+            if not codes:
+                continue
+            shard = self._shards[shard_index]
+            packed = np.zeros(shard.header["n_words"], dtype=np.uint64)
+            arr = np.asarray(codes, dtype=np.int64)
+            np.bitwise_or.at(
+                packed,
+                arr >> 6,
+                np.uint64(1) << (arr & 63).astype(np.uint64),
+            )
+            sizes = bitset._popcount(shard.matrix & packed).sum(
+                -1, dtype=np.int64
+            )
+            total = sizes if total is None else total + sizes
+        if total is None:
+            return {}
+        cat_cids = self._tree_shard._views["cat_cids"]
+        return {
+            cat_cids[row]: int(common)
+            for row, common in enumerate(total.tolist())
+            if common
         }
 
     # `path_to_root` and `best_category` are inherited from
@@ -790,6 +1075,7 @@ def prepare_mmap_generation(
     store,
     snapshot_id: str | None = None,
     use_bitset: bool | None = None,
+    tree_repr: str | None = None,
 ):
     """Prepare (not publish) an mmap-backed generation from a store.
 
@@ -808,7 +1094,9 @@ def prepare_mmap_generation(
     tracer = get_tracer()
     with tracer.span("serving.prepare_mmap"):
         paths = store.ensure_flat(snapshot_id)
-        indexes = MmapSnapshotIndexes(paths, use_bitset=use_bitset)
+        indexes = MmapSnapshotIndexes(
+            paths, use_bitset=use_bitset, tree_repr=tree_repr
+        )
     return Generation(
         tree=None,
         instance=None,

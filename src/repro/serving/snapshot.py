@@ -211,6 +211,7 @@ class SnapshotStore:
         build_run_id: str = "",
         activate: bool = True,
         flat_shards: int = 1,
+        tree_repr: str = "both",
     ) -> SnapshotInfo:
         """Persist a built tree as a snapshot; returns its manifest.
 
@@ -224,6 +225,8 @@ class SnapshotStore:
         that many item shards, so the snapshot publishes atomically with
         both formats; ``flat_shards=0`` skips it (the flat files are
         then compiled on first mmap use via :meth:`ensure_flat`).
+        ``tree_repr`` selects the emitted flat section groups ("flat",
+        "succinct", or "both" — the default, so any reader knob works).
         """
         tree_payload = tree_to_dict(tree)
         instance_payload = instance_to_dict(instance)
@@ -257,7 +260,9 @@ class SnapshotStore:
                         encoding="utf-8",
                     )
                 if flat_shards > 0:
-                    self._write_flat(staging, tree_payload, flat_shards)
+                    self._write_flat(
+                        staging, tree_payload, flat_shards, tree_repr
+                    )
                 try:
                     os.replace(staging, target)
                 except OSError:  # pragma: no cover - concurrent save race
@@ -273,7 +278,11 @@ class SnapshotStore:
         return self.info(snapshot_id)
 
     def _write_flat(
-        self, directory: Path, tree_payload: dict, shards: int
+        self,
+        directory: Path,
+        tree_payload: dict,
+        shards: int,
+        tree_repr: str = "both",
     ) -> list[Path]:
         """Compile and write the flat shard files into a snapshot dir.
 
@@ -300,7 +309,7 @@ class SnapshotStore:
         indexes = SnapshotIndexes(tree, instance, variant, use_bitset=False)
         paths: list[Path] = []
         for shard_index, blob in enumerate(
-            compile_flat_indexes(indexes, shards=shards)
+            compile_flat_indexes(indexes, shards=shards, tree_repr=tree_repr)
         ):
             path = directory / flat_file_name(shard_index, shards)
             tmp = directory / f".{path.name}.tmp-{os.getpid()}"
@@ -313,25 +322,50 @@ class SnapshotStore:
         """The snapshot's flat shard files, sorted (empty when absent)."""
         return sorted((self.root / snapshot_id).glob(_FLAT_GLOB))
 
-    def ensure_flat(self, snapshot_id: str, shards: int = 1) -> list[Path]:
+    def ensure_flat(
+        self, snapshot_id: str, shards: int = 1, tree_repr: str = "both"
+    ) -> list[Path]:
         """The flat shard files, compiling them first when missing.
 
         Lets worker processes mmap snapshots written before the flat
         layout existed (or saved with ``flat_shards=0``): the compile is
         idempotent and each file is published atomically, so concurrent
-        workers race harmlessly. An existing flat set is returned as-is
+        workers race harmlessly. An existing current-version flat set
+        carrying the requested representation(s) is returned as-is
         whatever its shard count — sharding is fixed at compile time.
+        Files written by an older format version, or missing a section
+        group ``tree_repr`` asks for, are recompiled in place at their
+        existing shard count (the format-version migration path: old
+        stores upgrade on first read, and the atomic per-file replace
+        means concurrent readers only ever see whole files).
         """
+        from repro.serving.shm import FLAT_FORMAT_VERSION, flat_header
+
+        wanted = (
+            {"flat", "succinct"} if tree_repr == "both" else {tree_repr}
+        )
         existing = self.flat_paths(snapshot_id)
         if existing:
-            return existing
+            fresh = True
+            for path in existing:
+                version, header = flat_header(path)
+                if version != FLAT_FORMAT_VERSION or not wanted.issubset(
+                    header.get("reprs", ["flat"])
+                ):
+                    fresh = False
+                    break
+            if fresh:
+                return existing
+            # Recompile at the existing shard count so the new files
+            # overwrite the old set exactly (no mixed-version leftovers).
+            shards = len(existing)
         directory = self.root / snapshot_id
         if not (directory / _MANIFEST).exists():
             raise SnapshotError(f"no snapshot {snapshot_id!r} in {self.root}")
         tree_payload = json.loads(
             (directory / _TREE).read_text(encoding="utf-8")
         )
-        return self._write_flat(directory, tree_payload, shards)
+        return self._write_flat(directory, tree_payload, shards, "both")
 
     def activate(self, snapshot_id: str) -> None:
         """Point ``CURRENT`` at an existing snapshot (atomic replace)."""

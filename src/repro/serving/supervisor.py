@@ -53,6 +53,7 @@ class WorkerConfig:
     poll_interval: float = 0.25
     quiet: bool = True
     max_requests: int | None = None
+    tree_repr: str | None = None
 
 
 def _poll_current(server, store: SnapshotStore, interval: float) -> None:
@@ -80,7 +81,9 @@ def _worker_main(config: WorkerConfig, worker_id: int, ready) -> None:
     store = SnapshotStore(config.store_root)
     engine = ServingEngine(cache_size=config.cache_size)
     engine.publish(
-        prepare_mmap_generation(store, use_bitset=config.use_bitset)
+        prepare_mmap_generation(
+            store, use_bitset=config.use_bitset, tree_repr=config.tree_repr
+        )
     )
     server = make_server(
         engine,
@@ -92,6 +95,7 @@ def _worker_main(config: WorkerConfig, worker_id: int, ready) -> None:
         reuse_port=True,
         worker_id=worker_id,
         backend="mmap",
+        tree_repr=config.tree_repr,
     )
     threading.Thread(
         target=_poll_current,
@@ -131,6 +135,7 @@ class ServingSupervisor:
         quiet: bool = True,
         max_requests: int | None = None,
         start_method: str | None = None,
+        tree_repr: str | None = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
@@ -145,6 +150,7 @@ class ServingSupervisor:
         self.poll_interval = poll_interval
         self.quiet = quiet
         self.max_requests = max_requests
+        self.tree_repr = tree_repr
         if start_method is None:
             methods = mp.get_all_start_methods()
             start_method = "fork" if "fork" in methods else "spawn"
@@ -190,6 +196,7 @@ class ServingSupervisor:
             poll_interval=self.poll_interval,
             quiet=self.quiet,
             max_requests=self.max_requests,
+            tree_repr=self.tree_repr,
         )
 
     def _spawn(self, worker_id: int) -> None:
