@@ -1,0 +1,257 @@
+"""The category-performance report: a mart-style serving rollup.
+
+Aggregates ``serving.querycat.*`` tracer counters — collected from the
+run-manifest JSONs that serving processes write — into one row per
+category, mirroring the ``mart_category_performance`` rollup referenced
+in SNIPPETS.md:
+
+* **traffic / traffic share** — requests that resolved *at* this
+  category (exact-node), and their share of all matched traffic;
+* **subtree traffic / share** — the same, accumulated over the
+  category's whole subtree (a parent "owns" its descendants' traffic);
+* **coverage** — the confident fraction of the subtree's traffic: how
+  much resolved via the exact/overlap stages rather than by backing off
+  into this subtree on low confidence;
+* **penetration** — live subtree share divided by the build-time
+  expected share (each input set's weight landing on its
+  ``best_category``), the drift signal :mod:`repro.analytics.drift`
+  thresholds.
+
+All inputs are plain counter dicts, so the report works identically on
+a freshly collected :class:`~repro.observability.Tracer`, a saved
+manifest, or a sum over a directory of manifests.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Iterable
+
+TRAFFIC_PREFIX = "serving.querycat.traffic."
+BACKOFF_TRAFFIC_PREFIX = "serving.querycat.backoff_traffic."
+
+
+def load_serving_counters(sources: Iterable) -> dict[str, float]:
+    """Sum the ``serving.*`` counters over manifest files/directories.
+
+    Each source is a run-manifest JSON path or a directory of them
+    (non-manifest JSON without a ``counters`` key contributes nothing).
+    Counter values add across manifests, so a fleet of serving workers
+    each writing its own manifest rolls up into one traffic log.
+    """
+    counters: dict[str, float] = {}
+    for path in _manifest_paths(sources):
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        for name, value in (payload.get("counters") or {}).items():
+            if name.startswith("serving."):
+                counters[name] = counters.get(name, 0) + value
+    return counters
+
+
+def _manifest_paths(sources: Iterable) -> list[Path]:
+    paths: list[Path] = []
+    for source in sources:
+        p = Path(source)
+        if p.is_dir():
+            paths.extend(sorted(p.glob("*.json")))
+        else:
+            paths.append(p)
+    return paths
+
+
+def traffic_by_category(
+    counters: dict[str, float], prefix: str = TRAFFIC_PREFIX
+) -> dict[int, float]:
+    """``{cid: requests}`` decoded from per-category traffic counters."""
+    out: dict[int, float] = {}
+    for name, value in counters.items():
+        if name.startswith(prefix):
+            suffix = name[len(prefix):]
+            try:
+                cid = int(suffix)
+            except ValueError:
+                continue
+            out[cid] = out.get(cid, 0.0) + float(value)
+    return out
+
+
+def _all_cids(indexes) -> list[int]:
+    """Every cid in the snapshot, via a root-down walk (backend-agnostic)."""
+    order: list[int] = []
+    stack = [indexes.root_cid]
+    while stack:
+        cid = stack.pop()
+        order.append(cid)
+        stack.extend(reversed(indexes.children_of[cid]))
+    return order
+
+
+def subtree_totals(indexes, node_values: dict[int, float]) -> dict[int, float]:
+    """Accumulate per-category values up the tree (node -> whole subtree).
+
+    Values for cids not in this snapshot are ignored (e.g. traffic
+    recorded against a previous generation's numbering).
+    """
+    totals = {cid: 0.0 for cid in _all_cids(indexes)}
+    for cid, value in node_values.items():
+        if cid in totals:
+            totals[cid] += value
+    for cid in sorted(totals, key=lambda c: -indexes.depths[c]):
+        parent = indexes.parent_of[cid]
+        if parent is not None:
+            totals[parent] += totals[cid]
+    return totals
+
+
+def build_category_shares(indexes, instance) -> dict[int, float]:
+    """The build-time traffic expectation, as exact-node shares per cid.
+
+    Each input set represents recorded query traffic with a weight; its
+    expected landing category is its :meth:`best_category` under the
+    snapshot's own variant. Uncovered sets carry no expectation.
+    """
+    weights: dict[int, float] = {}
+    total = 0.0
+    for q in instance.sets:
+        best = indexes.best_category(q.items)
+        if best is None:
+            continue
+        weights[best.cid] = weights.get(best.cid, 0.0) + q.weight
+        total += q.weight
+    if total <= 0:
+        return {}
+    return {cid: w / total for cid, w in weights.items()}
+
+
+@dataclass(frozen=True)
+class CategoryPerformance:
+    """One report row; shares are fractions of all *matched* traffic."""
+
+    cid: int
+    label: str
+    depth: int
+    traffic: float
+    traffic_share: float
+    subtree_traffic: float
+    subtree_share: float
+    coverage: float
+    build_share: float | None
+    penetration: float | None
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+@dataclass(frozen=True)
+class AnalyticsReport:
+    """The full category-performance report plus its request totals."""
+
+    total_requests: float
+    matched_traffic: float
+    unmatched: float
+    backoff_rate: float
+    rows: tuple[CategoryPerformance, ...]
+
+    def to_dict(self) -> dict:
+        return {
+            "total_requests": self.total_requests,
+            "matched_traffic": self.matched_traffic,
+            "unmatched": self.unmatched,
+            "backoff_rate": self.backoff_rate,
+            "rows": [row.to_dict() for row in self.rows],
+        }
+
+    def format_table(self) -> str:
+        """A fixed-width operator table, one line per category."""
+        header = (
+            f"{'cid':>6}  {'depth':>5}  {'traffic':>8}  {'share':>6}  "
+            f"{'subtree':>8}  {'sub%':>6}  {'cover':>6}  {'penetr':>6}  label"
+        )
+        lines = [header, "-" * len(header)]
+        for row in self.rows:
+            penetration = (
+                f"{row.penetration:6.2f}" if row.penetration is not None
+                else "     -"
+            )
+            lines.append(
+                f"{row.cid:>6}  {row.depth:>5}  {row.traffic:>8.0f}  "
+                f"{row.traffic_share:6.1%}  {row.subtree_traffic:>8.0f}  "
+                f"{row.subtree_share:6.1%}  {row.coverage:6.1%}  "
+                f"{penetration}  {row.label}"
+            )
+        lines.append(
+            f"requests={self.total_requests:.0f} "
+            f"matched={self.matched_traffic:.0f} "
+            f"unmatched={self.unmatched:.0f} "
+            f"backoff_rate={self.backoff_rate:.1%}"
+        )
+        return "\n".join(lines)
+
+
+def category_performance(
+    indexes,
+    counters: dict[str, float],
+    instance=None,
+    min_share: float = 0.0,
+    top: int | None = None,
+) -> AnalyticsReport:
+    """Build the category-performance report from serving counters.
+
+    ``instance`` (the snapshot's build instance) enables the
+    build-share/penetration columns; without it they are None. Rows
+    cover every category with subtree traffic at least ``min_share`` of
+    matched traffic, sorted by subtree traffic (heaviest first), and
+    optionally truncated to the ``top`` heaviest.
+    """
+    traffic = traffic_by_category(counters)
+    backoff = traffic_by_category(counters, prefix=BACKOFF_TRAFFIC_PREFIX)
+    subtree = subtree_totals(indexes, traffic)
+    subtree_backoff = subtree_totals(indexes, backoff)
+    matched = subtree[indexes.root_cid]
+    build_subtree: dict[int, float] | None = None
+    if instance is not None:
+        build_subtree = subtree_totals(
+            indexes, build_category_shares(indexes, instance)
+        )
+
+    rows = []
+    for cid in _all_cids(indexes):
+        sub = subtree[cid]
+        if sub <= 0:
+            continue
+        share = sub / matched if matched else 0.0
+        if share < min_share:
+            continue
+        build_share = build_subtree.get(cid) if build_subtree else None
+        penetration = None
+        if build_share is not None and build_share > 0:
+            penetration = share / build_share
+        rows.append(
+            CategoryPerformance(
+                cid=cid,
+                label=indexes.label_of(cid),
+                depth=int(indexes.depths[cid]),
+                traffic=traffic.get(cid, 0.0),
+                traffic_share=traffic.get(cid, 0.0) / matched if matched else 0.0,
+                subtree_traffic=sub,
+                subtree_share=share,
+                coverage=1.0 - subtree_backoff[cid] / sub,
+                build_share=build_share,
+                penetration=penetration,
+            )
+        )
+    rows.sort(key=lambda r: (-r.subtree_traffic, r.depth, r.cid))
+    if top is not None:
+        rows = rows[:top]
+
+    requests = float(counters.get("serving.querycat.requests", 0))
+    backoffs = float(counters.get("serving.querycat.backoff", 0))
+    return AnalyticsReport(
+        total_requests=requests,
+        matched_traffic=matched,
+        unmatched=float(counters.get("serving.querycat.unmatched", 0)),
+        backoff_rate=backoffs / requests if requests else 0.0,
+        rows=tuple(rows),
+    )

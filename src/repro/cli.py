@@ -18,6 +18,13 @@ Commands:
                   (name, kind, count, bytes, % of total) per shard, with
                   per-group subtotals comparing the dense and succinct
                   layouts.
+* ``categorize-query`` — map free-text queries onto the tree via the
+                  staged decision procedure (exact label hit, token
+                  overlap, confidence-thresholded back-off).
+* ``analytics`` — offline serving analytics over run manifests: the
+                  category-performance report (traffic share, coverage,
+                  penetration) and the traffic-drift detector with its
+                  rebuild recommendation.
 * ``oct``       — alias for ``build`` (the paper's name for the problem).
 
 Variants are spelled ``threshold-jaccard:0.8``, ``cutoff-f1:0.7``,
@@ -428,6 +435,140 @@ def _serve_loop(server, engine) -> int:
     return 0
 
 
+def _query_engine(args):
+    """Resolve a ServingEngine for offline query categorization.
+
+    Mirrors ``cmd_serve``'s sourcing rules: serve the store's CURRENT
+    snapshot when one exists, otherwise build from the dataset/instance
+    flags (saving to the store when given).
+    """
+    from repro.labeling import apply_label_suggestions, suggest_labels
+    from repro.serving import ServingEngine, SnapshotStore
+
+    use_bitset = {"auto": None, "on": True, "off": False}[args.bitset]
+    store = SnapshotStore(args.snapshot_dir) if args.snapshot_dir else None
+    if store is not None and store.current_id() is not None:
+        loaded = store.load()
+        print(
+            f"loaded snapshot {loaded.info.snapshot_id} "
+            f"(variant {loaded.info.variant})"
+        )
+        return ServingEngine.from_snapshot(
+            loaded, use_bitset=use_bitset, tree_repr=args.tree_repr
+        )
+    instance, dataset, variant = _load(args)
+    builder = _builder(args.algorithm, dataset, args)
+    tree = builder.build(instance, variant)
+    apply_label_suggestions(tree, suggest_labels(tree, instance, variant))
+    if store is not None:
+        info = store.save(tree, instance, variant)
+        print(f"built and saved snapshot {info.snapshot_id}")
+        return ServingEngine.from_snapshot(
+            store.load(info.snapshot_id),
+            use_bitset=use_bitset, tree_repr=args.tree_repr,
+        )
+    return ServingEngine.from_tree(
+        tree, instance, variant,
+        use_bitset=use_bitset, tree_repr=args.tree_repr,
+    )
+
+
+def cmd_categorize_query(args) -> int:
+    """Categorize free-text queries via the staged back-off procedure."""
+    import json
+
+    queries = list(args.query or [])
+    if args.queries_file:
+        with open(args.queries_file, encoding="utf-8") as f:
+            queries.extend(line.strip() for line in f if line.strip())
+    if not queries:
+        print(
+            "error: give at least one --query or a --queries-file",
+            file=sys.stderr,
+        )
+        return 2
+    engine = _query_engine(args)
+    results = engine.categorize_queries(
+        queries, threshold=args.confidence_threshold, top_k=args.top_k
+    )
+    if args.json:
+        print(json.dumps(results, indent=2))
+        return 0
+    for result in results:
+        if result["cid"] is None:
+            print(f"{result['query']!r}: uncategorized ({result['stage']})")
+            continue
+        crumb = " > ".join(p["label"] for p in result["path"])
+        print(
+            f"{result['query']!r} -> {crumb} "
+            f"[{result['stage']}, confidence {result['confidence']:.2f}]"
+        )
+    return 0
+
+
+def cmd_analytics(args) -> int:
+    """Offline serving analytics over recorded run manifests."""
+    import json
+
+    from repro.analytics import (
+        category_performance,
+        detect_traffic_drift,
+        load_serving_counters,
+    )
+    from repro.serving import SnapshotStore
+    from repro.serving.indexes import SnapshotIndexes
+
+    store = SnapshotStore(args.snapshot_dir)
+    if (args.snapshot or store.current_id()) is None:
+        print(
+            f"error: no CURRENT snapshot in {args.snapshot_dir}; "
+            "pass --snapshot ID",
+            file=sys.stderr,
+        )
+        return 2
+    loaded = store.load(args.snapshot)
+    indexes = SnapshotIndexes(loaded.tree, loaded.instance, loaded.variant)
+    counters = load_serving_counters(args.manifests)
+
+    if args.action == "report":
+        report = category_performance(
+            indexes,
+            counters,
+            instance=loaded.instance,
+            min_share=args.min_traffic,
+            top=args.top,
+        )
+        print(report.format_table())
+        payload = report.to_dict()
+    else:
+        recommendation = detect_traffic_drift(
+            indexes,
+            loaded.instance,
+            counters,
+            relative_threshold=args.drift_threshold,
+            min_share=args.min_traffic,
+            rebuild_threshold=args.rebuild_threshold,
+        )
+        verdict = (
+            "REBUILD RECOMMENDED"
+            if recommendation.should_rebuild
+            else "no rebuild needed"
+        )
+        print(f"{verdict}: {recommendation.reason}")
+        for outlier in recommendation.drifted:
+            print(
+                f"  cid {outlier.key}: live {outlier.observed:.1%} vs "
+                f"build {outlier.expected:.1%} ({outlier.ratio:.1f}x)"
+            )
+        payload = recommendation.to_dict()
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as f:
+            json.dump(payload, f, indent=2)
+            f.write("\n")
+        print(f"JSON written to {args.output}")
+    return 0
+
+
 def cmd_inspect_snapshot(args) -> int:
     """Print the flat section table of a snapshot's shard files."""
     from pathlib import Path
@@ -739,6 +880,135 @@ def make_parser() -> argparse.ArgumentParser:
         "(identical answers, smaller indexes, batched-LCA categorize)",
     )
     p_serve.set_defaults(func=cmd_serve)
+
+    p_querycat = sub.add_parser(
+        "categorize-query",
+        help="map free-text queries onto the tree (staged back-off)",
+    )
+    add_common(p_querycat)
+    p_querycat.add_argument(
+        "--algorithm",
+        choices=["ctcr", "cct", "ic-s", "ic-q", "et"],
+        default="ctcr",
+        help="builder used when no stored snapshot exists yet",
+    )
+    p_querycat.add_argument(
+        "--snapshot-dir",
+        metavar="PATH",
+        help="snapshot store directory: categorize against its CURRENT "
+        "snapshot when one exists, otherwise build from the dataset/"
+        "instance flags and save the result there (omit for a one-off "
+        "in-memory build)",
+    )
+    p_querycat.add_argument(
+        "--query",
+        action="append",
+        metavar="TEXT",
+        help="a query to categorize (repeatable)",
+    )
+    p_querycat.add_argument(
+        "--queries-file",
+        metavar="PATH",
+        help="file with one query per line (combined with --query)",
+    )
+    p_querycat.add_argument(
+        "--confidence-threshold",
+        type=float,
+        default=None,
+        metavar="X",
+        help="back off up the hierarchy below this stage confidence "
+        "(default: 0.5)",
+    )
+    p_querycat.add_argument(
+        "--top-k",
+        type=int,
+        default=None,
+        metavar="N",
+        help="label-search candidates feeding the overlap and back-off "
+        "stages (default: 10)",
+    )
+    p_querycat.add_argument(
+        "--tree-repr",
+        choices=["flat", "succinct"],
+        default="flat",
+        help="read-path representation (answers are identical)",
+    )
+    p_querycat.add_argument(
+        "--json",
+        action="store_true",
+        help="print the full result JSON instead of one line per query",
+    )
+    p_querycat.set_defaults(func=cmd_categorize_query)
+
+    p_analytics = sub.add_parser(
+        "analytics",
+        help="offline serving analytics: category report + drift detection",
+    )
+    add_common(p_analytics)
+    p_analytics.add_argument(
+        "action",
+        choices=["report", "drift"],
+        help="report: per-category traffic/coverage/penetration rollup; "
+        "drift: compare live traffic against build-time weights and "
+        "recommend a rebuild",
+    )
+    p_analytics.add_argument(
+        "--manifests",
+        action="append",
+        required=True,
+        metavar="PATH",
+        help="run-manifest JSON file, or a directory of them "
+        "(repeatable; counters sum across manifests)",
+    )
+    p_analytics.add_argument(
+        "--snapshot-dir",
+        required=True,
+        metavar="PATH",
+        help="snapshot store holding the tree the traffic was served from",
+    )
+    p_analytics.add_argument(
+        "--snapshot",
+        metavar="ID",
+        help="analyze this snapshot id instead of CURRENT",
+    )
+    p_analytics.add_argument(
+        "--top",
+        type=int,
+        default=None,
+        metavar="N",
+        help="only the N heaviest report rows (default: all)",
+    )
+    p_analytics.add_argument(
+        "--min-traffic",
+        type=float,
+        default=0.02,
+        metavar="SHARE",
+        help="ignore categories below this traffic share in report rows "
+        "and drift outliers (default: 0.02)",
+    )
+    p_analytics.add_argument(
+        "--drift-threshold",
+        type=float,
+        default=2.0,
+        metavar="X",
+        help="per-category relative divergence factor worth flagging "
+        "(default: 2.0)",
+    )
+    p_analytics.add_argument(
+        "--rebuild-threshold",
+        type=float,
+        default=0.25,
+        metavar="TV",
+        help="total-variation distance between live and build-time "
+        "traffic shares that triggers a rebuild recommendation "
+        "(default: 0.25)",
+    )
+    p_analytics.add_argument(
+        "--output",
+        metavar="PATH",
+        help="also write the report/recommendation JSON here",
+    )
+    p_analytics.set_defaults(func=cmd_analytics)
 
     p_inspect = sub.add_parser(
         "inspect-snapshot",

@@ -12,15 +12,22 @@ from repro.maintenance.coverage import (
     rescue_uncovered,
     uncovered_sets,
 )
-from repro.maintenance.outliers import OutlierReport, detect_misassigned_items
+from repro.maintenance.outliers import (
+    DistributionOutlier,
+    OutlierReport,
+    detect_distribution_outliers,
+    detect_misassigned_items,
+)
 from repro.maintenance.subtree import rebuild_subtree, restrict_instance_to_items
 
 __all__ = [
+    "DistributionOutlier",
     "OutlierReport",
     "Placement",
     "RescueResult",
     "apply_placements",
     "classify_new_items",
+    "detect_distribution_outliers",
     "detect_misassigned_items",
     "lower_uncovered_thresholds",
     "orphaned_items",

@@ -36,7 +36,11 @@ from repro.observability.tracer import NullTracer, Tracer
 # v6: serving.succinct.* counters from the succinct read path (requests
 # served by succinct generations, varint postings decoded, bitset
 # large-fan-in fallbacks, batched-LCA sweeps).
-SCHEMA_VERSION = 6
+# v7: serving.querycat.* counters from free-text query categorization
+# (per-stage outcomes exact/overlap/backoff/nohit/empty, unmatched,
+# backoff_steps, per-category traffic.<cid> / backoff_traffic.<cid>) —
+# the raw material of the repro.analytics report and drift detector.
+SCHEMA_VERSION = 7
 
 try:  # pragma: no cover - resource is POSIX-only
     import resource

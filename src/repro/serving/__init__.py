@@ -15,7 +15,10 @@ supervisor serving it (:mod:`repro.serving.supervisor`, CLI:
 ``python -m repro serve --workers N``), and a succinct tree-retrieval
 read path — Euler-tour intervals, sparse-table LCA, delta-compressed
 varint postings — behind the ``tree_repr="succinct"`` knob
-(:mod:`repro.serving.succinct`, bit-identical to the flat answers).
+(:mod:`repro.serving.succinct`, bit-identical to the flat answers), and
+staged free-text query categorization with confidence-thresholded
+back-off up the hierarchy (:mod:`repro.serving.querycat`, CLI:
+``python -m repro categorize-query``).
 
 Quickstart::
 
@@ -47,6 +50,12 @@ from repro.serving.loadgen import (
     request_path,
     run_http_loadgen,
     run_loadgen,
+)
+from repro.serving.querycat import (
+    DEFAULT_CONFIDENCE_THRESHOLD,
+    DEFAULT_TOP_K,
+    categorize_query,
+    record_query_counters,
 )
 from repro.serving.shm import (
     FLAT_FORMAT_VERSION,
@@ -81,7 +90,9 @@ __all__ = [
     "BITSET_FANIN_THRESHOLD",
     "BaseSnapshotIndexes",
     "BestCategory",
+    "DEFAULT_CONFIDENCE_THRESHOLD",
     "DEFAULT_MIX",
+    "DEFAULT_TOP_K",
     "EulerTour",
     "FLAT_FORMAT_VERSION",
     "Generation",
@@ -104,6 +115,7 @@ __all__ = [
     "TREE_REPRS",
     "WorkerConfig",
     "build_workload",
+    "categorize_query",
     "compile_flat_indexes",
     "decode_postings",
     "describe_flat",
@@ -114,6 +126,7 @@ __all__ = [
     "make_server",
     "prepare_generation",
     "prepare_mmap_generation",
+    "record_query_counters",
     "request_path",
     "run_http_loadgen",
     "run_loadgen",

@@ -32,6 +32,8 @@ from repro.core.tree import CategoryTree
 from repro.core.variants import Variant
 from repro.observability import get_tracer
 from repro.serving.indexes import BaseSnapshotIndexes, BestCategory, SnapshotIndexes
+from repro.serving.querycat import categorize_query as _categorize_query
+from repro.serving.querycat import record_query_counters
 from repro.serving.snapshot import LoadedSnapshot
 
 Item = Hashable
@@ -418,6 +420,60 @@ class ServingEngine:
             ]
 
         return self._serve("search", (query, top_k), compute)
+
+    def categorize_query(
+        self,
+        text: str,
+        threshold: float | None = None,
+        top_k: int | None = None,
+    ) -> dict:
+        """Map one free-text query onto the tree (staged back-off).
+
+        Runs the :mod:`repro.serving.querycat` decision procedure —
+        exact label hit, then token-overlap scoring, then
+        confidence-thresholded back-off up the hierarchy — and returns
+        its JSON-native result dict. ``serving.querycat.*`` counters are
+        recorded per request, cache hit or not.
+        """
+
+        def compute(gen: Generation) -> dict:
+            return _categorize_query(
+                gen.indexes, text, threshold=threshold, top_k=top_k
+            )
+
+        result = self._serve(
+            "categorize_query", (text, threshold, top_k), compute
+        )
+        record_query_counters(result)
+        return result
+
+    def categorize_queries(
+        self,
+        texts: Iterable[str],
+        threshold: float | None = None,
+        top_k: int | None = None,
+    ) -> list[dict]:
+        """Batched :meth:`categorize_query`: one result per query.
+
+        The whole batch resolves against a single generation read, so a
+        mid-batch hot swap can never split the batch across trees.
+        """
+        batch = tuple(texts)
+
+        def compute(gen: Generation) -> list[dict]:
+            return [
+                _categorize_query(
+                    gen.indexes, text, threshold=threshold, top_k=top_k
+                )
+                for text in batch
+            ]
+
+        results = self._serve(
+            "categorize_query_batch", (batch, threshold, top_k), compute
+        )
+        for result in results:
+            record_query_counters(result)
+        return results
 
     # -- introspection -------------------------------------------------------
 

@@ -21,6 +21,12 @@ Endpoints (all JSON):
 ``GET /path?cid=N``       root-to-category breadcrumb
 ``GET /search?q=text[&top_k=N]``
                           free-text label search over categories
+``GET /categorize-query?q=text`` or ``?queries=a|b|c``
+                          staged free-text query categorization (exact
+                          label hit -> token overlap -> hierarchy
+                          back-off); optional ``threshold=0.5`` and
+                          ``top_k=N`` knobs, ``queries`` (pipe-
+                          separated) for a batch
 ``POST /admin/swap``      hot-swap to a stored snapshot
                           (body: ``{"snapshot_id": "..."}``; empty body
                           reloads the store's CURRENT snapshot)
@@ -173,6 +179,13 @@ class _Handler(BaseHTTPRequestHandler):
         except ValueError:
             raise _BadRequest(f"{name} must be an integer, got {raw!r}") from None
 
+    def _float_param(self, params: dict[str, str], name: str) -> float:
+        raw = self._require(params, name)
+        try:
+            return float(raw)
+        except ValueError:
+            raise _BadRequest(f"{name} must be a float, got {raw!r}") from None
+
     # -- dispatch ------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
@@ -190,6 +203,7 @@ class _Handler(BaseHTTPRequestHandler):
                 "/browse": self._get_browse,
                 "/path": self._get_path,
                 "/search": self._get_search,
+                "/categorize-query": self._get_categorize_query,
             }.get(route)
             if handler is None:
                 self._reply(404, {"error": f"unknown path {route!r}"})
@@ -307,6 +321,33 @@ class _Handler(BaseHTTPRequestHandler):
         self._reply(
             200,
             {"q": query, "hits": self.server.engine.find_categories(query, top_k)},
+        )
+
+    def _get_categorize_query(self) -> None:
+        params = self._params()
+        threshold = (
+            self._float_param(params, "threshold")
+            if "threshold" in params
+            else None
+        )
+        top_k = self._int_param(params, "top_k") if "top_k" in params else None
+        if "queries" in params:
+            queries = [q for q in params["queries"].split("|") if q.strip()]
+            if not queries:
+                raise _BadRequest(
+                    "queries must be a non-empty pipe-separated list"
+                )
+            results = self.server.engine.categorize_queries(
+                queries, threshold=threshold, top_k=top_k
+            )
+            self._reply(200, {"queries": queries, "results": results})
+            return
+        query = self._require(params, "q")
+        self._reply(
+            200,
+            self.server.engine.categorize_query(
+                query, threshold=threshold, top_k=top_k
+            ),
         )
 
     # -- POST endpoints ------------------------------------------------------

@@ -110,8 +110,45 @@ def _anchors(page: Path) -> set[str]:
     }
 
 
+class TestBenchSchemas:
+    """Every committed BENCH_*.json has a schema entry in operations.md."""
+
+    def test_every_bench_json_is_documented(self):
+        operations = (REPO / "docs" / "operations.md").read_text()
+        missing = []
+        for path in sorted((REPO / "benchmarks").glob("BENCH_*.json")):
+            # Tiny CI-smoke files share the full-mode file's schema entry.
+            name = path.name.replace("_tiny.json", ".json")
+            if name not in operations:
+                missing.append(path.name)
+        assert not missing, (
+            f"benchmark JSON files without a schema entry in "
+            f"docs/operations.md: {missing}"
+        )
+
+
 class TestMarkdownLinks:
     """Relative links and anchors in docs/, README, EXPERIMENTS."""
+
+    def test_every_docs_page_is_reachable(self):
+        """Each docs/*.md must be linked from README or another doc page
+
+        — a page nothing points to is dead documentation (this is what
+        keeps new pages like serving_analytics.md wired in).
+        """
+        targets: set[Path] = set()
+        for page in DOC_PAGES:
+            for target in LINK_RE.findall(page.read_text()):
+                if target.startswith(("http://", "https://", "mailto:")):
+                    continue
+                path_part = target.partition("#")[0]
+                if path_part:
+                    targets.add((page.parent / path_part).resolve())
+        orphans = [
+            p.name for p in (REPO / "docs").glob("*.md")
+            if p.resolve() not in targets
+        ]
+        assert not orphans, f"docs pages nothing links to: {orphans}"
 
     @pytest.mark.parametrize(
         "page", DOC_PAGES, ids=lambda p: str(p.relative_to(REPO))
