@@ -660,6 +660,93 @@ def cmd_inspect_snapshot(args) -> int:
     return 0
 
 
+def cmd_shape(args) -> int:
+    """Shape a saved tree against an explicit serving budget."""
+    import json as _json
+
+    from repro.shaping import (
+        CostModel,
+        ShapingBudget,
+        TreeShaper,
+        calibrate_cost_model,
+    )
+
+    instance, _dataset, variant = _load(args)
+    tree = load_tree(args.tree)
+    budget = ShapingBudget(
+        max_query_ns=args.max_query_ns,
+        max_snapshot_bytes=args.max_snapshot_bytes,
+        max_depth=args.max_depth,
+        max_children=args.max_children,
+    )
+    if args.calibrate == "on":
+        model = calibrate_cost_model(tree, instance, variant)
+    else:
+        model = CostModel()
+    result = TreeShaper(instance, variant, model).shape(tree, budget)
+    print(
+        f"budget {'met' if result.met else 'NOT met'}: "
+        f"query {result.cost_before.expected_query_ns:.0f} -> "
+        f"{result.cost_after.expected_query_ns:.0f} ns, "
+        f"snapshot {result.cost_before.snapshot_bytes} -> "
+        f"{result.cost_after.snapshot_bytes} bytes"
+    )
+    print(
+        f"categories {result.cost_before.n_categories} -> "
+        f"{result.cost_after.n_categories} "
+        f"(depth-capped {result.depth_capped}, width-pruned "
+        f"{result.width_pruned}, hub splits {result.hub_splits})"
+    )
+    print(
+        f"score {result.score_before:.4f} -> {result.score_after:.4f} "
+        f"(gave up {result.quality_given_up:.4f})"
+    )
+    if args.output:
+        dump_tree(result.tree, args.output)
+        print(f"shaped tree written to {args.output}")
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as f:
+            _json.dump(result.to_dict(), f, indent=2, sort_keys=True)
+        print(f"shaping report written to {args.report}")
+    return 0 if result.met else 1
+
+
+def cmd_synthesize(args) -> int:
+    """Generate an extreme-scale synthetic catalog deterministically."""
+    from repro.scale import ExtremeCatalog, ScaleSpec
+
+    spec = ScaleSpec(
+        n_items=args.items,
+        n_sets=args.sets,
+        n_nodes=args.nodes,
+        seed=args.seed,
+        zipf_s=args.zipf,
+        size_zipf_s=args.size_zipf,
+        fanin_alpha=args.fanin_alpha,
+        overlap=args.overlap,
+        conflict_density=args.conflict_density,
+        min_set_size=args.min_set_size,
+        max_set_size=args.max_set_size,
+    )
+    catalog = ExtremeCatalog(spec)
+    stats = catalog.stats()
+    print(
+        f"{stats['n_items']} items, {stats['n_sets']} sets, "
+        f"{stats['n_nodes']} planted nodes ({stats['n_leaves']} leaves, "
+        f"depth {stats['max_depth']}, max fan-out {stats['max_fanout']}), "
+        f"seed {stats['seed']}"
+    )
+    if args.fingerprint:
+        print(f"fingerprint {catalog.fingerprint()}")
+    if args.output:
+        dump_instance(catalog.instance(), args.output)
+        print(f"instance written to {args.output}")
+    if args.tree_output:
+        dump_tree(catalog.planted_tree(), args.tree_output)
+        print(f"planted tree written to {args.tree_output}")
+    return 0
+
+
 def cmd_trends(args) -> int:
     dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
     trending = detect_trending_queries(dataset.query_log, window=args.window)
@@ -1027,6 +1114,119 @@ def make_parser() -> argparse.ArgumentParser:
         "only)",
     )
     p_inspect.set_defaults(func=cmd_inspect_snapshot)
+
+    p_shape = sub.add_parser(
+        "shape",
+        help="reshape a saved tree to meet a serving latency/memory "
+        "budget, reporting the score it gave up (exit 1 when the "
+        "budget cannot be met)",
+    )
+    add_common(p_shape)
+    p_shape.add_argument("--tree", required=True, help="tree JSON path")
+    p_shape.add_argument(
+        "--max-query-ns",
+        type=float,
+        default=None,
+        help="expected per-query serving budget in nanoseconds under "
+        "the cost model (default: unbounded)",
+    )
+    p_shape.add_argument(
+        "--max-snapshot-bytes",
+        type=int,
+        default=None,
+        help="snapshot size budget in bytes, measured with the "
+        "varint postings codec (default: unbounded)",
+    )
+    p_shape.add_argument(
+        "--max-depth",
+        type=int,
+        default=None,
+        help="collapse subtrees below this depth (default: unbounded)",
+    )
+    p_shape.add_argument(
+        "--max-children",
+        type=int,
+        default=None,
+        help="split hub categories until no node has more children "
+        "than this (default: unbounded)",
+    )
+    p_shape.add_argument(
+        "--calibrate",
+        choices=["on", "off"],
+        default="off",
+        help="fit the cost model by timing the succinct read path on "
+        "this tree and workload before shaping (default: off = "
+        "built-in constants)",
+    )
+    p_shape.add_argument("--output", help="write the shaped tree JSON here")
+    p_shape.add_argument(
+        "--report", help="write the shaping result JSON here"
+    )
+    p_shape.set_defaults(func=cmd_shape)
+
+    p_synth = sub.add_parser(
+        "synthesize",
+        help="generate an extreme-scale synthetic catalog (seeded, "
+        "byte-reproducible across processes and Python versions)",
+    )
+    add_common(p_synth)
+    p_synth.add_argument(
+        "--items", type=int, default=100000,
+        help="catalog item universe size (default: 100000)",
+    )
+    p_synth.add_argument(
+        "--sets", type=int, default=2000,
+        help="candidate category (input set) count (default: 2000)",
+    )
+    p_synth.add_argument(
+        "--nodes", type=int, default=None,
+        help="planted taxonomy node count (default: max(16, sets/4))",
+    )
+    p_synth.add_argument(
+        "--zipf", type=float, default=1.05,
+        help="Zipf exponent of the query-weight distribution "
+        "(default: 1.05)",
+    )
+    p_synth.add_argument(
+        "--size-zipf", type=float, default=1.1,
+        help="Zipf exponent of the leaf item-quota distribution "
+        "(default: 1.1)",
+    )
+    p_synth.add_argument(
+        "--fanin-alpha", type=float, default=0.6,
+        help="preferential-attachment copying probability driving the "
+        "power-law category fan-in (default: 0.6)",
+    )
+    p_synth.add_argument(
+        "--overlap", type=float, default=0.15,
+        help="fraction of sets borrowing items from a sibling branch "
+        "(default: 0.15)",
+    )
+    p_synth.add_argument(
+        "--conflict-density", type=float, default=0.05,
+        help="fraction of sets spanning two unrelated branches "
+        "(default: 0.05)",
+    )
+    p_synth.add_argument(
+        "--min-set-size", type=int, default=4,
+        help="smallest candidate set (default: 4)",
+    )
+    p_synth.add_argument(
+        "--max-set-size", type=int, default=64,
+        help="largest candidate set before overlap/conflict unions "
+        "(default: 64)",
+    )
+    p_synth.add_argument(
+        "--fingerprint", action="store_true",
+        help="print the dataset's streaming sha256 fingerprint",
+    )
+    p_synth.add_argument(
+        "--output", help="write the materialized instance JSON here"
+    )
+    p_synth.add_argument(
+        "--tree-output", help="write the planted taxonomy JSON here"
+    )
+    p_synth.set_defaults(func=cmd_synthesize)
 
     return parser
 

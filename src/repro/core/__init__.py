@@ -12,6 +12,7 @@ from repro.core.scoring import (
     ScoreReport,
     SetScore,
     annotate_matches,
+    category_intersections,
     covering_categories,
     score_tree,
     upper_bound,
@@ -45,6 +46,7 @@ __all__ = [
     "SolverError",
     "Variant",
     "annotate_matches",
+    "category_intersections",
     "covering_categories",
     "covers",
     "f1",

@@ -55,13 +55,15 @@ class ScoreReport:
         return totals
 
 
-def _category_intersections(
+def category_intersections(
     tree: CategoryTree, instance: OCTInstance
 ) -> dict[int, dict[int, int]]:
     """``{sid: {cid: |q ∩ C|}}`` via an item -> category inverted index.
 
     Only nonzero intersections are materialized, which keeps scoring
-    near-linear on the sparse instances the paper targets.
+    near-linear on the sparse instances the paper targets. Public
+    because :mod:`repro.shaping` uses the same table to keep its
+    incremental score bookkeeping bit-identical to :func:`score_tree`.
     """
     item_to_cids: dict = {}
     for cat in tree.categories():
@@ -75,6 +77,10 @@ def _category_intersections(
                 counts[cid] = counts.get(cid, 0) + 1
         inter[q.sid] = counts
     return inter
+
+
+# Backwards-compatible alias (pre-shaping internal name).
+_category_intersections = category_intersections
 
 
 def score_tree(

@@ -40,7 +40,11 @@ from repro.observability.tracer import NullTracer, Tracer
 # (per-stage outcomes exact/overlap/backoff/nohit/empty, unmatched,
 # backoff_steps, per-category traffic.<cid> / backoff_traffic.<cid>) —
 # the raw material of the repro.analytics report and drift detector.
-SCHEMA_VERSION = 7
+# v8: shaping.* counters/gauges from latency/memory-budgeted tree
+# shaping (runs, removed, hub_splits, width_pruned, quality_given_up,
+# met) emitted by repro.shaping.TreeShaper and the HotSwapper
+# shape-then-publish path.
+SCHEMA_VERSION = 8
 
 try:  # pragma: no cover - resource is POSIX-only
     import resource

@@ -1,0 +1,27 @@
+"""Extreme-scale synthetic catalogs (streaming, seeded, cross-version).
+
+See :mod:`repro.scale.generator` for the planted-taxonomy design and
+:mod:`repro.scale.rng` for the stateless hash randomness that makes
+fingerprints byte-identical across processes and Python versions.
+"""
+
+from repro.scale.generator import (
+    ExtremeCatalog,
+    PlantedTaxonomy,
+    ScaleSpec,
+    scaled_spec,
+)
+from repro.scale.rng import h64, mix64, randint, sample_range, u01, weighted_index
+
+__all__ = [
+    "ExtremeCatalog",
+    "PlantedTaxonomy",
+    "ScaleSpec",
+    "h64",
+    "mix64",
+    "randint",
+    "sample_range",
+    "scaled_spec",
+    "u01",
+    "weighted_index",
+]

@@ -1,0 +1,441 @@
+"""Extreme-scale synthetic OCT catalogs (ROADMAP: extreme-scale tier).
+
+The named datasets in :mod:`repro.catalog` mirror the paper's A–E at
+repro-friendly sizes (hundreds of sets, tens of thousands of items).
+This module generates catalogs at the paper's *"millions of users"*
+framing — millions of items, up to ~100k candidate categories — with the
+statistical structure the serving stack actually has to survive:
+
+* **a planted taxonomy** whose fan-in follows a power law (preferential
+  attachment by parent copying): a few hub categories with hundreds of
+  children, a long tail of narrow ones;
+* **Zipfian query weights** over the candidate sets (head queries carry
+  most of the workload mass) and Zipfian category sizes (leaf item
+  quotas), so both the demand and the catalog are realistically skewed;
+* **controllable overlap and conflict density**: a tunable fraction of
+  candidate sets borrow items from a sibling branch (partial-overlap
+  2-conflicts) or span two unrelated branches outright (the conflicts
+  the MIS stage must arbitrate).
+
+Items are integers and every leaf owns a **contiguous id range** (leaf
+quotas are assigned in planted pre-order), so any planted category's
+item set is itself a contiguous interval. That single invariant is what
+makes the generator *streaming*: sampling a category's items, walking
+candidate sets, or fingerprinting the whole dataset needs the O(nodes)
+planted arrays and nothing per-item — a billion-item catalog costs the
+same resident memory as a thousand-item one until a caller explicitly
+materializes a tree or an instance.
+
+Determinism is absolute: every draw is a stateless splitmix64 hash of
+``(seed, record coordinates)`` (see :mod:`repro.scale.rng`), so the same
+:class:`ScaleSpec` yields byte-identical datasets across processes,
+platforms with IEEE-754 doubles, and Python 3.10–3.12 — pinned by the
+golden fingerprint in ``tests/test_scale.py``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from dataclasses import dataclass, field, replace
+from typing import Iterator
+
+from repro.core.input_sets import InputSet, OCTInstance
+from repro.core.tree import CategoryTree
+from repro.scale.rng import h64, randint, sample_range, u01
+
+# Tags keep the hash streams of unrelated record kinds disjoint.
+_T_PARENT, _T_COPY, _T_RANK = 1, 2, 3
+_T_ANCHOR, _T_LIFT, _T_SIZE = 10, 11, 12
+_T_OVERLAP, _T_CONFLICT, _T_ITEMS = 13, 14, 15
+_T_SIBLING, _T_FAR = 16, 17
+
+
+@dataclass(frozen=True)
+class ScaleSpec:
+    """Shape knobs for one synthetic extreme-scale catalog.
+
+    ``n_nodes`` defaults to ``max(16, n_sets // 4)`` planted taxonomy
+    nodes. ``zipf_s`` skews candidate-set weights by sid rank;
+    ``size_zipf_s`` skews leaf item quotas. ``fanin_alpha`` is the
+    parent-copying probability of the preferential-attachment step
+    (higher → heavier-tailed fan-in). ``overlap`` is the fraction of
+    sets that borrow items from a sibling branch; ``conflict_density``
+    the fraction that span two unrelated branches.
+    """
+
+    n_items: int
+    n_sets: int
+    n_nodes: int | None = None
+    seed: int = 0
+    zipf_s: float = 1.05
+    size_zipf_s: float = 1.1
+    fanin_alpha: float = 0.6
+    overlap: float = 0.15
+    conflict_density: float = 0.05
+    min_set_size: int = 4
+    max_set_size: int = 64
+    base_weight: float = 1000.0
+
+    def __post_init__(self) -> None:
+        if self.n_items < 1 or self.n_sets < 1:
+            raise ValueError("n_items and n_sets must be positive")
+        resolved = self.resolved_nodes
+        if resolved < 2:
+            raise ValueError("need at least 2 planted nodes")
+        if self.n_items < resolved:
+            raise ValueError(
+                f"n_items={self.n_items} cannot cover "
+                f"{resolved} planted nodes (every leaf owns >= 1 item)"
+            )
+        if not 1 <= self.min_set_size <= self.max_set_size:
+            raise ValueError("need 1 <= min_set_size <= max_set_size")
+        for name in ("overlap", "conflict_density"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if not 0.0 <= self.fanin_alpha <= 1.0:
+            raise ValueError("fanin_alpha must be in [0, 1]")
+
+    @property
+    def resolved_nodes(self) -> int:
+        return self.n_nodes if self.n_nodes is not None else max(
+            16, self.n_sets // 4
+        )
+
+    def canonical(self) -> str:
+        """The fingerprint's stable rendering of every knob."""
+        return (
+            f"scale-v1|items={self.n_items}|sets={self.n_sets}"
+            f"|nodes={self.resolved_nodes}|seed={self.seed}"
+            f"|zipf={self.zipf_s!r}|size_zipf={self.size_zipf_s!r}"
+            f"|fanin={self.fanin_alpha!r}|overlap={self.overlap!r}"
+            f"|conflict={self.conflict_density!r}"
+            f"|set_size=[{self.min_set_size},{self.max_set_size}]"
+            f"|base_weight={self.base_weight!r}"
+        )
+
+
+@dataclass
+class PlantedTaxonomy:
+    """The O(nodes) skeleton every streaming operation reads from.
+
+    Nodes are numbered in generation order (``parent[v] < v``; node 0 is
+    the root). ``lo``/``hi`` give each node's contiguous item interval
+    — its planted item set is exactly ``range(lo[v], hi[v])``.
+    """
+
+    parent: list[int]
+    children: list[list[int]]
+    leaves: list[int]          # pre-order over the planted tree
+    leaf_quota: list[int]      # items owned per leaf, aligned with leaves
+    leaf_start: list[int]      # cumulative starts, aligned with leaves
+    lo: list[int] = field(default_factory=list)
+    hi: list[int] = field(default_factory=list)
+    depth: list[int] = field(default_factory=list)
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.parent)
+
+    def leaf_of_item(self, item: int) -> int:
+        """The planted leaf owning one item id (binary search)."""
+        idx = bisect_right(self.leaf_start, item) - 1
+        return self.leaves[idx]
+
+    def fanout_histogram(self) -> dict[int, int]:
+        """``{fan_out: node count}`` — the power-law tail at a glance."""
+        hist: dict[int, int] = {}
+        for kids in self.children:
+            hist[len(kids)] = hist.get(len(kids), 0) + 1
+        return hist
+
+
+def _plant_taxonomy(spec: ScaleSpec) -> PlantedTaxonomy:
+    """Grow the planted tree and assign leaf item quotas.
+
+    Parent selection is preferential attachment by copying: with
+    probability ``fanin_alpha`` a new node adopts the parent of a
+    random earlier non-root node (so a parent's chance of gaining a
+    child is proportional to its current fan-out — the classic
+    power-law mechanism); otherwise the parent is uniform over all
+    earlier nodes.
+    """
+    seed = spec.seed
+    n = spec.resolved_nodes
+    parent = [-1] * n
+    children: list[list[int]] = [[] for _ in range(n)]
+    for v in range(1, n):
+        if v >= 2 and u01(seed, _T_PARENT, v) < spec.fanin_alpha:
+            donor = randint(seed, 1, v, _T_COPY, v)
+            p = parent[donor]
+        else:
+            p = randint(seed, 0, v, _T_PARENT, v)
+        parent[v] = p
+        children[p].append(v)
+
+    depth = [0] * n
+    for v in range(1, n):
+        depth[v] = depth[parent[v]] + 1
+
+    # Leaves in planted pre-order, so sibling subtrees own contiguous
+    # item ranges and every internal node's range is an interval too.
+    leaves: list[int] = []
+    stack = [0]
+    while stack:
+        v = stack.pop()
+        if children[v]:
+            stack.extend(reversed(children[v]))
+        else:
+            leaves.append(v)
+
+    # Zipfian quotas by a hash-permuted leaf ranking: position in the
+    # pre-order does not dictate size, and largest-remainder rounding
+    # makes the quotas sum to exactly n_items with every leaf >= 1.
+    n_leaves = len(leaves)
+    ranked = sorted(
+        range(n_leaves), key=lambda i: (h64(seed, _T_RANK, leaves[i]), i)
+    )
+    raw = [0.0] * n_leaves
+    for rank, idx in enumerate(ranked):
+        raw[idx] = (rank + 1) ** -spec.size_zipf_s
+    total_raw = sum(raw)
+    spare = spec.n_items - n_leaves
+    exact = [spare * r / total_raw for r in raw]
+    quota = [1 + int(e) for e in exact]
+    short = spec.n_items - sum(quota)
+    remainders = sorted(
+        range(n_leaves), key=lambda i: (-(exact[i] - int(exact[i])), i)
+    )
+    for i in remainders[:short]:
+        quota[i] += 1
+
+    leaf_start = [0] * n_leaves
+    acc = 0
+    for i, q in enumerate(quota):
+        leaf_start[i] = acc
+        acc += q
+    assert acc == spec.n_items
+
+    lo = [spec.n_items] * n
+    hi = [0] * n
+    for i, leaf in enumerate(leaves):
+        lo[leaf] = leaf_start[i]
+        hi[leaf] = leaf_start[i] + quota[i]
+    for v in range(n - 1, 0, -1):
+        p = parent[v]
+        lo[p] = min(lo[p], lo[v])
+        hi[p] = max(hi[p], hi[v])
+
+    return PlantedTaxonomy(
+        parent=parent,
+        children=children,
+        leaves=leaves,
+        leaf_quota=quota,
+        leaf_start=leaf_start,
+        lo=lo,
+        hi=hi,
+        depth=depth,
+    )
+
+
+class ExtremeCatalog:
+    """A streaming view over one :class:`ScaleSpec`'s synthetic dataset.
+
+    Construction builds only the planted taxonomy (O(nodes) memory).
+    :meth:`iter_input_sets` streams the candidate categories one
+    :class:`~repro.core.input_sets.InputSet` at a time;
+    :meth:`instance` and :meth:`planted_tree` are the explicit
+    materialization points — everything else stays lazy.
+    """
+
+    def __init__(self, spec: ScaleSpec) -> None:
+        self.spec = spec
+        self.taxonomy = _plant_taxonomy(spec)
+
+    # -- streaming candidate sets ------------------------------------------
+
+    def _anchor_node(self, k: int) -> int:
+        """The planted node a candidate set is built around.
+
+        The anchor leaf is drawn item-proportionally (big categories
+        attract more queries), then lifted 0–2 levels so some sets
+        target mid-tree categories.
+        """
+        tax = self.taxonomy
+        item = randint(self.spec.seed, 0, self.spec.n_items, _T_ANCHOR, k)
+        node = tax.leaf_of_item(item)
+        lift_roll = u01(self.spec.seed, _T_LIFT, k)
+        lifts = 0 if lift_roll < 0.6 else (1 if lift_roll < 0.85 else 2)
+        for _ in range(lifts):
+            if tax.parent[node] <= 0:
+                break
+            node = tax.parent[node]
+        return node
+
+    def _set_size(self, k: int, span: int) -> int:
+        spec = self.spec
+        # Sets cover a random fraction of their anchor's interval
+        # (squared-uniform, so most queries are narrow) and are capped
+        # at max_set_size — small categories get well-covered sets with
+        # high Jaccard, hub categories get partial cover.
+        frac = 0.1 + 0.8 * u01(spec.seed, _T_SIZE, k) ** 2
+        size = max(spec.min_set_size, int(frac * span))
+        return max(1, min(size, span, spec.max_set_size))
+
+    def _sibling_of(self, node: int, k: int) -> int | None:
+        tax = self.taxonomy
+        p = tax.parent[node]
+        if p < 0:
+            return None
+        siblings = [c for c in tax.children[p] if c != node]
+        if not siblings:
+            return None
+        return siblings[
+            randint(self.spec.seed, 0, len(siblings), _T_SIBLING, k)
+        ]
+
+    def _far_node(self, node: int, k: int) -> int | None:
+        """A leaf outside ``node``'s item interval (a different branch)."""
+        tax = self.taxonomy
+        lo, hi = tax.lo[node], tax.hi[node]
+        outside = self.spec.n_items - (hi - lo)
+        if outside <= 0:
+            return None
+        pick = randint(self.spec.seed, 0, outside, _T_FAR, k)
+        item = pick if pick < lo else pick + (hi - lo)
+        return tax.leaf_of_item(item)
+
+    def candidate_items(self, k: int) -> tuple[list[int], int]:
+        """The item list of candidate set ``k`` plus its anchor node."""
+        spec, tax = self.spec, self.taxonomy
+        node = self._anchor_node(k)
+        lo, hi = tax.lo[node], tax.hi[node]
+        size = self._set_size(k, hi - lo)
+        items = sample_range(spec.seed, lo, hi, size, _T_ITEMS, k)
+
+        if u01(spec.seed, _T_OVERLAP, k) < spec.overlap:
+            sibling = self._sibling_of(node, k)
+            if sibling is not None:
+                s_lo, s_hi = tax.lo[sibling], tax.hi[sibling]
+                borrow = max(1, len(items) // 4)
+                borrowed = sample_range(
+                    spec.seed, s_lo, s_hi, min(borrow, s_hi - s_lo),
+                    _T_OVERLAP, k,
+                )
+                items = sorted(set(items[: len(items) - len(borrowed)])
+                               | set(borrowed))
+
+        if u01(spec.seed, _T_CONFLICT, k) < spec.conflict_density:
+            far = self._far_node(node, k)
+            if far is not None:
+                f_lo, f_hi = tax.lo[far], tax.hi[far]
+                extra = max(1, len(items) // 2)
+                items = sorted(
+                    set(items)
+                    | set(sample_range(
+                        spec.seed, f_lo, f_hi, min(extra, f_hi - f_lo),
+                        _T_CONFLICT, k,
+                    ))
+                )
+        return items, node
+
+    def weight_of(self, k: int) -> float:
+        """Zipfian workload weight of candidate set ``k`` (head-heavy)."""
+        return self.spec.base_weight * (k + 1) ** -self.spec.zipf_s
+
+    def iter_input_sets(self) -> Iterator[InputSet]:
+        """Stream the candidate categories in sid order, O(1) state."""
+        for k in range(self.spec.n_sets):
+            items, node = self.candidate_items(k)
+            yield InputSet(
+                sid=k,
+                items=frozenset(items),
+                weight=self.weight_of(k),
+                label=f"syn-{k}-n{node}",
+                source="query",
+            )
+
+    # -- fingerprinting -----------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """A streaming sha256 over the full dataset content.
+
+        Covers the spec knobs, the planted structure (parents + leaf
+        quotas), and every candidate set's ``sid|weight|items`` record
+        — byte-identical across processes and Python versions for the
+        same spec (pinned by the golden test).
+        """
+        digest = hashlib.sha256()
+        digest.update(self.spec.canonical().encode())
+        tax = self.taxonomy
+        digest.update((",".join(map(str, tax.parent)) + ";").encode())
+        digest.update((",".join(map(str, tax.leaf_quota)) + ";").encode())
+        for k in range(self.spec.n_sets):
+            items, _node = self.candidate_items(k)
+            digest.update(
+                f"{k}|{self.weight_of(k)!r}|{','.join(map(str, items))};"
+                .encode()
+            )
+        return digest.hexdigest()
+
+    # -- materialization ----------------------------------------------------
+
+    def instance(self) -> OCTInstance:
+        """Materialize the candidate sets as one OCT instance.
+
+        The universe is ``range(n_items)`` — memory scales with the
+        dataset, so at extreme sizes prefer the streaming APIs and
+        materialize only inside a measured benchmark point.
+        """
+        return OCTInstance(
+            list(self.iter_input_sets()),
+            universe=range(self.spec.n_items),
+        )
+
+    def planted_tree(self) -> CategoryTree:
+        """Materialize the planted taxonomy as a CategoryTree.
+
+        Every node's item set is its contiguous interval, so assembly
+        is a pre-order walk with ``set(range(lo, hi))`` per node — no
+        up-propagation passes. This is the scalable "builder" of the
+        extreme benchmark tier: the paper's heuristics are quadratic in
+        the candidate sets, while the planted tree is the ground truth
+        those candidates were sampled from.
+        """
+        tax = self.taxonomy
+        tree = CategoryTree(root_label="root")
+        tree.root.items = set(range(tax.lo[0], tax.hi[0]))
+        by_node = {0: tree.root}
+        stack = [0]
+        while stack:
+            v = stack.pop()
+            for child in reversed(tax.children[v]):
+                cat = tree.add_category(parent=by_node[v], label=f"n{child}")
+                cat.items = set(range(tax.lo[child], tax.hi[child]))
+                by_node[child] = cat
+                stack.append(child)
+        return tree
+
+    def stats(self) -> dict:
+        """Small summary dict for logs and the benchmark JSON."""
+        tax = self.taxonomy
+        hist = tax.fanout_histogram()
+        return {
+            "n_items": self.spec.n_items,
+            "n_sets": self.spec.n_sets,
+            "n_nodes": tax.n_nodes,
+            "n_leaves": len(tax.leaves),
+            "max_depth": max(tax.depth),
+            "max_fanout": max(hist),
+            "seed": self.spec.seed,
+        }
+
+
+def scaled_spec(
+    n_items: int, n_sets: int, seed: int = 0, **overrides
+) -> ScaleSpec:
+    """Convenience constructor used by the benchmark scale axis."""
+    return replace(
+        ScaleSpec(n_items=n_items, n_sets=n_sets, seed=seed), **overrides
+    )

@@ -1,0 +1,112 @@
+"""Counter-based deterministic randomness for the scale generator.
+
+:mod:`random.Random` is deterministic for a fixed seed, but its draw
+methods consume generator state *sequentially*: reordering two draws, or
+adding one in the middle, silently perturbs everything after it — and a
+streaming generator that must be resumable, sliceable, and byte-identical
+across processes and Python 3.10–3.12 cannot afford either hazard.
+
+This module instead derives every draw from a **stateless hash**: a
+splitmix64 finalizer over ``(seed, tag, counter...)``. Each record of the
+synthetic dataset is a pure function of its coordinates, so
+
+* generation streams in any order (or in parallel) with identical output,
+* draws for one record never perturb another record's draws, and
+* the output depends only on integer arithmetic — no libc, no hashing
+  salt, no :mod:`random` internals — so fingerprints stay byte-identical
+  across interpreter versions.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+_MASK64 = (1 << 64) - 1
+_GOLDEN = 0x9E3779B97F4A7C15
+
+
+def mix64(x: int) -> int:
+    """The splitmix64 finalizer: a 64-bit avalanche of one integer.
+
+    >>> mix64(0) == mix64(0)
+    True
+    >>> mix64(1) != mix64(2)
+    True
+    """
+    x &= _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return x ^ (x >> 31)
+
+
+def h64(seed: int, *parts: int) -> int:
+    """A 64-bit hash of a seed plus integer coordinates.
+
+    Sequential splitmix64 rounds, one per coordinate, so ``h64(s, a, b)``
+    and ``h64(s, b, a)`` differ and appending a coordinate never
+    collides with the shorter tuple.
+    """
+    x = mix64(seed)
+    for part in parts:
+        x = mix64(x + _GOLDEN + (part & _MASK64))
+    return x
+
+
+def u01(seed: int, *parts: int) -> float:
+    """A uniform float in [0, 1) from hash coordinates (53-bit mantissa)."""
+    return (h64(seed, *parts) >> 11) * (1.0 / (1 << 53))
+
+
+def randint(seed: int, lo: int, hi: int, *parts: int) -> int:
+    """A uniform integer in ``[lo, hi)`` from hash coordinates.
+
+    Uses multiply-shift reduction on the hash's top bits; the modulo
+    bias is below 2**-40 for any span this library draws from.
+    """
+    if hi <= lo:
+        raise ValueError(f"empty range [{lo}, {hi})")
+    span = hi - lo
+    return lo + (h64(seed, *parts) * span >> 64)
+
+
+def weighted_index(
+    seed: int, cumulative: Sequence[float], *parts: int
+) -> int:
+    """Sample an index by a cumulative-weight table (binary search)."""
+    total = cumulative[-1]
+    target = u01(seed, *parts) * total
+    lo, hi = 0, len(cumulative) - 1
+    while lo < hi:
+        mid = (lo + hi) >> 1
+        if cumulative[mid] <= target:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+def sample_range(
+    seed: int, lo: int, hi: int, k: int, *parts: int
+) -> list[int]:
+    """``k`` distinct integers from ``[lo, hi)``, ascending.
+
+    Draws with a per-attempt counter and rejects duplicates; when ``k``
+    is most of the range it falls back to a hash-keyed selection over
+    the whole range so termination never depends on rejection luck.
+    """
+    span = hi - lo
+    if k >= span:
+        return list(range(lo, hi))
+    if k * 3 >= span:
+        # Dense request: rank the whole range by per-element hash and
+        # keep the k smallest — one pass, no rejection loop.
+        ranked = sorted(
+            range(lo, hi), key=lambda v: (h64(seed, v, *parts), v)
+        )
+        return sorted(ranked[:k])
+    chosen: set[int] = set()
+    attempt = 0
+    while len(chosen) < k:
+        chosen.add(lo + (h64(seed, attempt, *parts) * span >> 64))
+        attempt += 1
+    return sorted(chosen)

@@ -36,10 +36,19 @@ from repro.serving.snapshot import SnapshotStore
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import
     from repro.incremental import BuildState, IncrementalBuilder
+    from repro.shaping import CostModel, ShapingBudget, ShapingResult
 
 
 class HotSwapper:
-    """Builds new generations for one engine and publishes them atomically."""
+    """Builds new generations for one engine and publishes them atomically.
+
+    With a ``shaping_budget``, every rebuilt tree is passed through
+    :class:`~repro.shaping.TreeShaper` *before* it is snapshotted or
+    published (shape-then-publish): serving only ever sees trees that
+    were shaped against the budget, the snapshot store archives the
+    shaped form, and ``last_shaping`` carries the exact quality/cost
+    accounting of the most recent swap.
+    """
 
     def __init__(
         self,
@@ -47,6 +56,8 @@ class HotSwapper:
         use_bitset: bool | None = None,
         backend: str = "object",
         tree_repr: str | None = None,
+        shaping_budget: "ShapingBudget | None" = None,
+        cost_model: "CostModel | None" = None,
     ) -> None:
         if backend not in ("object", "mmap"):
             raise ValueError(
@@ -58,10 +69,27 @@ class HotSwapper:
         # None = each backend's default ("flat" for object generations,
         # auto-resolution for mmap'ed flat files).
         self.tree_repr = tree_repr
+        self.shaping_budget = shaping_budget
+        self.cost_model = cost_model
+        self.last_shaping: "ShapingResult | None" = None
         self._swap_lock = threading.Lock()  # serializes whole swaps
         # Carried between delta swaps; None until the first delta
         # rebuild bootstraps it with a full build.
         self.delta_state: "BuildState | None" = None
+
+    def _maybe_shape(self, tree, instance: OCTInstance, variant: Variant):
+        """Apply the configured shaping budget to a freshly built tree."""
+        if self.shaping_budget is None or self.shaping_budget.unbounded:
+            return tree
+        from repro.shaping import TreeShaper
+
+        tracer = get_tracer()
+        with tracer.span("serving.shape"):
+            result = TreeShaper(instance, variant, self.cost_model).shape(
+                tree, self.shaping_budget
+            )
+        self.last_shaping = result
+        return result.tree
 
     # -- generation sources --------------------------------------------------
 
@@ -106,6 +134,7 @@ class HotSwapper:
         tracer = get_tracer()
         with tracer.span("serving.rebuild"):
             tree = builder.build(instance, variant)
+        tree = self._maybe_shape(tree, instance, variant)
         snapshot_id = ""
         if store is not None:
             snapshot_id = store.save(tree, instance, variant).snapshot_id
@@ -158,6 +187,10 @@ class HotSwapper:
                         instance, variant
                     )
         self.delta_state = new_state
+        # Shape only the published/archived form; the carried delta
+        # state keeps tracking the unshaped build lineage so later
+        # deltas still match it.
+        tree = self._maybe_shape(tree, instance, variant)
         if store is not None:
             snapshot_id = store.save(tree, instance, variant).snapshot_id
             IncrementalStateStore(store.root).save(snapshot_id, new_state)

@@ -1,0 +1,33 @@
+"""Latency/memory-budgeted tree shaping with exact quality accounting.
+
+See :mod:`repro.shaping.shaper` for the budgeted passes and
+:mod:`repro.shaping.cost` for the calibrated serving cost model.
+"""
+
+from repro.shaping.cost import (
+    CostEstimate,
+    CostModel,
+    calibrate_cost_model,
+    category_encoded_bytes,
+    estimate_cost,
+    workload_features,
+)
+from repro.shaping.shaper import (
+    ShapingBudget,
+    ShapingResult,
+    TreeShaper,
+    shape_tree,
+)
+
+__all__ = [
+    "CostEstimate",
+    "CostModel",
+    "ShapingBudget",
+    "ShapingResult",
+    "TreeShaper",
+    "calibrate_cost_model",
+    "category_encoded_bytes",
+    "estimate_cost",
+    "shape_tree",
+    "workload_features",
+]

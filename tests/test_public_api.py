@@ -18,8 +18,10 @@ PACKAGES = [
     "repro.mis",
     "repro.observability",
     "repro.pipeline",
+    "repro.scale",
     "repro.search",
     "repro.serving",
+    "repro.shaping",
     "repro.utils",
 ]
 

@@ -1,0 +1,202 @@
+"""Tests for repro.scale: deterministic extreme-scale synthetic catalogs.
+
+Determinism is the load-bearing property: the generator is built on a
+stateless splitmix64 hash so the same spec yields a byte-identical
+catalog in any process on any supported Python (3.10-3.12).  The golden
+fingerprint below pins that across versions via the CI matrix — if it
+ever changes, every previously recorded BENCH_extreme curve stops being
+comparable, so treat a mismatch as a breaking change, not test rot.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core import score_tree
+from repro.core.variants import Variant
+from repro.scale import (
+    ExtremeCatalog,
+    ScaleSpec,
+    h64,
+    mix64,
+    randint,
+    sample_range,
+    scaled_spec,
+    u01,
+    weighted_index,
+)
+
+# Golden fingerprint for scaled_spec(n_items=5000, n_sets=200, seed=7).
+# Pinned across processes and Python versions (CI runs 3.10-3.12).
+GOLDEN_SPEC = dict(n_items=5000, n_sets=200, seed=7)
+GOLDEN_FINGERPRINT = (
+    "14e0b9675c77d7c4b9f8b447f3c25478104cb28161f85a9e64dfcc25122c1a15"
+)
+
+
+class TestRng:
+    def test_mix64_is_pure(self):
+        assert mix64(12345) == mix64(12345)
+        assert mix64(12345) != mix64(12346)
+
+    def test_h64_varies_with_every_part(self):
+        base = h64(1, 2, 3)
+        assert h64(1, 2, 3) == base
+        assert h64(1, 2, 4) != base
+        assert h64(1, 9, 3) != base
+        assert h64(2, 2, 3) != base
+
+    def test_u01_in_unit_interval(self):
+        vals = [u01(0, k) for k in range(1000)]
+        assert all(0.0 <= v < 1.0 for v in vals)
+        assert 0.3 < sum(vals) / len(vals) < 0.7
+
+    def test_randint_bounds(self):
+        for k in range(500):
+            v = randint(3, 10, 20, k)
+            assert 10 <= v < 20
+        assert {randint(3, 0, 2, k) for k in range(64)} == {0, 1}
+
+    def test_weighted_index_respects_weights(self):
+        hits = [0, 0]
+        for k in range(2000):
+            hits[weighted_index(5, [1.0, 9.0], k)] += 1
+        assert hits[1] > hits[0] * 3
+
+    def test_sample_range_sorted_unique_in_bounds(self):
+        for k in (1, 5, 50, 200):
+            got = sample_range(11, 100, 300, k, 42)
+            assert got == sorted(set(got))
+            assert all(100 <= v < 300 for v in got)
+            assert len(got) == min(k, 200)
+
+    def test_sample_range_full_span(self):
+        assert sample_range(11, 10, 15, 99, 0) == [10, 11, 12, 13, 14]
+
+
+class TestScaleSpec:
+    def test_defaults_resolve_nodes(self):
+        spec = ScaleSpec(n_items=10_000, n_sets=400)
+        assert spec.resolved_nodes == 100
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScaleSpec(n_items=0, n_sets=10)
+        with pytest.raises(ValueError):
+            ScaleSpec(n_items=100, n_sets=0)
+        with pytest.raises(ValueError):
+            ScaleSpec(n_items=100, n_sets=10, overlap=1.5)
+        with pytest.raises(ValueError):
+            ScaleSpec(n_items=100, n_sets=10, min_set_size=9, max_set_size=4)
+
+    def test_canonical_covers_every_knob(self):
+        a = scaled_spec(1000, 50, seed=1)
+        b = scaled_spec(1000, 50, seed=1, overlap=0.3)
+        assert a.canonical() != b.canonical()
+
+
+class TestDeterminism:
+    def test_same_seed_identical_fingerprint_in_process(self):
+        a = ExtremeCatalog(scaled_spec(**GOLDEN_SPEC))
+        b = ExtremeCatalog(scaled_spec(**GOLDEN_SPEC))
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_golden_fingerprint_pinned(self):
+        catalog = ExtremeCatalog(scaled_spec(**GOLDEN_SPEC))
+        assert catalog.fingerprint() == GOLDEN_FINGERPRINT
+
+    def test_seed_changes_fingerprint(self):
+        other = dict(GOLDEN_SPEC, seed=8)
+        catalog = ExtremeCatalog(scaled_spec(**other))
+        assert catalog.fingerprint() != GOLDEN_FINGERPRINT
+
+    def test_fingerprint_identical_across_processes(self):
+        code = (
+            "from repro.scale import ExtremeCatalog, scaled_spec;"
+            f"c = ExtremeCatalog(scaled_spec(**{GOLDEN_SPEC!r}));"
+            "print(c.fingerprint())"
+        )
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[1] / "src")
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (src, env.get("PYTHONPATH")) if p
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True, text=True, env=env, check=True,
+        )
+        assert out.stdout.strip() == GOLDEN_FINGERPRINT
+
+    def test_input_sets_replayable(self):
+        catalog = ExtremeCatalog(scaled_spec(1000, 40, seed=3))
+        first = [(q.sid, q.items, q.weight) for q in catalog.iter_input_sets()]
+        second = [(q.sid, q.items, q.weight) for q in catalog.iter_input_sets()]
+        assert first == second
+
+
+class TestStreaming:
+    def test_iter_input_sets_is_lazy(self):
+        # A catalog far too large to materialize: taking the head must
+        # not require generating the other ten million sets.
+        catalog = ExtremeCatalog(
+            scaled_spec(50_000_000, 10_000_000, seed=0)
+        )
+        head = list(itertools.islice(catalog.iter_input_sets(), 5))
+        assert [q.sid for q in head] == [0, 1, 2, 3, 4]
+        assert all(q.items for q in head)
+
+    def test_weights_follow_zipf(self):
+        catalog = ExtremeCatalog(scaled_spec(1000, 50, seed=0))
+        weights = [q.weight for q in catalog.iter_input_sets()]
+        assert weights == sorted(weights, reverse=True)
+        assert weights[0] > 10 * weights[-1]
+
+
+class TestPlantedStructure:
+    @pytest.fixture(scope="class")
+    def catalog(self):
+        return ExtremeCatalog(scaled_spec(4000, 120, seed=5))
+
+    def test_leaf_quotas_partition_items(self, catalog):
+        tax = catalog.taxonomy
+        assert sum(tax.leaf_quota) == 4000
+        covered = []
+        for i, v in enumerate(tax.leaves):
+            assert tax.hi[v] - tax.lo[v] == tax.leaf_quota[i]
+            covered.append((tax.lo[v], tax.hi[v]))
+        covered.sort()
+        assert covered[0][0] == 0 and covered[-1][1] == 4000
+        for (_, hi), (lo, _) in zip(covered, covered[1:]):
+            assert hi == lo
+
+    def test_parent_intervals_contain_children(self, catalog):
+        tax = catalog.taxonomy
+        for v in range(1, tax.n_nodes):
+            p = tax.parent[v]
+            assert tax.lo[p] <= tax.lo[v] and tax.hi[v] <= tax.hi[p]
+
+    def test_planted_tree_is_valid(self, catalog):
+        instance = catalog.instance()
+        tree = catalog.planted_tree()
+        tree.validate(universe=instance.universe, bound=instance.bound)
+
+    def test_planted_tree_scores_reasonably(self, catalog):
+        instance = catalog.instance()
+        tree = catalog.planted_tree()
+        result = score_tree(tree, instance, Variant.threshold_jaccard(0.1))
+        assert result.normalized > 0.15
+
+    def test_sets_respect_size_bounds(self, catalog):
+        # The anchor sample is capped at max_set_size; overlap borrows
+        # and conflict unions ride on top, each bounded by a fraction of
+        # the base, so the hard ceiling is 2x.
+        spec = catalog.spec
+        for q in catalog.iter_input_sets():
+            assert 1 <= len(q.items) <= 2 * spec.max_set_size
+            assert all(0 <= i < spec.n_items for i in q.items)
